@@ -1,0 +1,51 @@
+// Shared scaffolding for the experiment binaries (bench_e*): standard
+// algorithm rosters and a uniform report banner, so every reproduced
+// table/figure prints the same way and EXPERIMENTS.md can quote it.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/acceptance.hpp"
+#include "bounds/harmonic.hpp"
+#include "bounds/ll_bound.hpp"
+#include "bounds/scaled_periods.hpp"
+#include "partition/baselines.hpp"
+#include "partition/rmts.hpp"
+#include "partition/rmts_light.hpp"
+#include "partition/spa.hpp"
+
+namespace rmts::bench {
+
+/// Experiment banner: id, the paper claim being reproduced, and the
+/// workload description, so raw bench output is self-describing.
+inline void banner(const std::string& id, const std::string& claim,
+                   const std::string& workload) {
+  std::cout << "##### " << id << " #####\n"
+            << "# claim:    " << claim << '\n'
+            << "# workload: " << workload << '\n';
+}
+
+inline std::shared_ptr<const Rmts> rmts_ll() {
+  return std::make_shared<Rmts>(std::make_shared<LiuLaylandBound>());
+}
+
+inline std::shared_ptr<const Rmts> rmts_hc() {
+  return std::make_shared<Rmts>(std::make_shared<HarmonicChainBound>(),
+                                MaxSplitMethod::kSchedulingPoints, "RM-TS[HC]");
+}
+
+inline std::shared_ptr<const PartitionedRm> prm_ffd_rta() {
+  return std::make_shared<PartitionedRm>(FitPolicy::kFirstFit,
+                                         TaskOrder::kDecreasingUtilization,
+                                         Admission::kExactRta);
+}
+
+inline std::shared_ptr<const PartitionedRm> prm_ffd_ll() {
+  return std::make_shared<PartitionedRm>(FitPolicy::kFirstFit,
+                                         TaskOrder::kDecreasingUtilization,
+                                         Admission::kLiuLayland);
+}
+
+}  // namespace rmts::bench

@@ -1,0 +1,60 @@
+// E14: ablation of the harmonic-chain counting algorithm.
+//
+// The HC bound K(2^{1/K}-1) improves as K shrinks, so the chain-counting
+// algorithm directly moves the guarantee.  We compare the exact minimum
+// chain cover (Dilworth via bipartite matching -- what this library uses)
+// against the classic greedy decomposition, on populations where chains
+// interleave (mixed multiples), and report how often greedy overcounts and
+// what that costs in bound value.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+
+int main() {
+  using namespace rmts;
+  bench::banner("E14 chain-cover ablation",
+                "minimum chain cover (matching) vs greedy: greedy overcounts "
+                "on interleaved divisor structures, costing bound value",
+                "N in {8,16,24}, periods = base * {1,2,3,4,6,12} mixes, "
+                "2000 sets each");
+
+  Rng rng(1414);
+  Table table({"N", "mean K (min)", "mean K (greedy)", "greedy suboptimal %",
+               "mean HC bound (min)", "mean HC bound (greedy)"});
+  for (const std::size_t n : {8u, 16u, 24u}) {
+    double sum_min = 0.0;
+    double sum_greedy = 0.0;
+    double bound_min = 0.0;
+    double bound_greedy = 0.0;
+    int suboptimal = 0;
+    const int samples = 2000;
+    for (int sample = 0; sample < samples; ++sample) {
+      Rng derived = rng.fork(n * 100000 + static_cast<std::uint64_t>(sample));
+      // Interleaved structure: multiples of a base with divisor-poset
+      // "diamonds" (2,3 | 6, 12...), where greedy's first-fit chain choice
+      // can strand elements.
+      static constexpr Time kMultipliers[] = {1, 2, 3, 4, 6, 8, 12, 24};
+      std::vector<Time> periods;
+      periods.reserve(n);
+      const Time base = derived.uniform_int(100, 1000);
+      for (std::size_t i = 0; i < n; ++i) {
+        periods.push_back(base * kMultipliers[derived.uniform_int(0, 7)]);
+      }
+      const std::size_t k_min = min_harmonic_chains(periods);
+      const std::size_t k_greedy = greedy_harmonic_chains(periods);
+      sum_min += static_cast<double>(k_min);
+      sum_greedy += static_cast<double>(k_greedy);
+      bound_min += harmonic_chain_bound_value(k_min);
+      bound_greedy += harmonic_chain_bound_value(k_greedy);
+      suboptimal += (k_greedy > k_min);
+    }
+    table.add_row({std::to_string(n), Table::num(sum_min / samples, 3),
+                   Table::num(sum_greedy / samples, 3),
+                   Table::num(100.0 * suboptimal / samples, 1),
+                   Table::num(bound_min / samples, 4),
+                   Table::num(bound_greedy / samples, 4)});
+  }
+  table.print_text(std::cout, "minimum vs greedy harmonic chain cover");
+  return 0;
+}

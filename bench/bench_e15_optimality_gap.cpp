@@ -1,0 +1,42 @@
+// E15: heuristic vs optimal strict partitioning vs splitting.
+//
+// On small instances (N=8, M=3) where exhaustive search is exact:
+//  * FFD with exact RTA is nearly optimal among STRICT partitioners;
+//  * task splitting (RM-TS/light) beats even the OPTIMAL strict
+//    partitioner -- the capacity the paper's semi-partitioning wins is
+//    real, not an artifact of weak bin-packing heuristics.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "partition/optimal_strict.hpp"
+
+int main() {
+  using namespace rmts;
+  bench::banner("E15 optimality gap",
+                "splitting > OPTIMAL strict > FFD ~= optimal: the gap "
+                "between splitting and OPT-strict is the paper's real win",
+                "M=3, N=8, U_i <= 0.8, log-uniform T, 300 sets/point");
+
+  AcceptanceConfig config;
+  config.workload.tasks = 8;
+  config.workload.processors = 3;
+  config.workload.max_task_utilization = 0.8;
+  config.utilization_points = sweep(0.60, 1.00, 11);
+  config.samples = 300;
+
+  const TestRoster roster{
+      std::make_shared<RmtsLight>(),
+      std::make_shared<OptimalStrictRm>(),
+      bench::prm_ffd_rta(),
+  };
+  const AcceptanceResult result = run_acceptance(config, roster);
+  result.to_table().print_text(std::cout,
+                               "acceptance: splitting vs optimal strict vs FFD");
+
+  std::cout << "\n50%-acceptance frontier:\n";
+  for (std::size_t a = 0; a < roster.size(); ++a) {
+    std::cout << "  " << result.algorithm_names[a] << ": U_M = "
+              << Table::num(result.last_point_above(a, 0.5), 3) << '\n';
+  }
+  return 0;
+}

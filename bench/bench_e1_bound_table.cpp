@@ -1,0 +1,49 @@
+// E1: the bound landscape (Sections III-V closed forms).
+//
+// Regenerates the numeric anchors the paper states in prose: Theta(N) and
+// its derived thresholds, the harmonic-chain bound per K, the R-bound per
+// scaled-period ratio, and which parametric bounds clear RM-TS's
+// 2 Theta/(1+Theta) cap (Section V's K=2 vs K=3 discussion).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/scaled_periods.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace rmts;
+  bench::banner("E1 bound table",
+                "Theta -> 69.3%, light threshold -> 40.9%, RM-TS cap -> 81.8%; "
+                "HC bound usable by RM-TS iff K >= 3 (77.9% < cap < 82.8%)",
+                "closed forms, no sampling");
+
+  Table theta({"N", "Theta(N)", "light thr Theta/(1+Theta)", "RM-TS cap 2Theta/(1+Theta)"});
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 8u, 16u, 32u, 64u, 1024u}) {
+    theta.add_row({std::to_string(n), Table::num(liu_layland_theta(n), 4),
+                   Table::num(light_task_threshold(n), 4),
+                   Table::num(rmts_bound_cap(n), 4)});
+  }
+  theta.add_row({"inf", Table::num(liu_layland_theta_limit(), 4),
+                 Table::num(liu_layland_theta_limit() / (1 + liu_layland_theta_limit()), 4),
+                 Table::num(2 * liu_layland_theta_limit() / (1 + liu_layland_theta_limit()), 4)});
+  theta.print_text(std::cout, "Liu & Layland bound and the paper's thresholds");
+
+  std::cout << '\n';
+  const double cap = 2 * liu_layland_theta_limit() / (1 + liu_layland_theta_limit());
+  Table hc({"K chains", "HC bound K(2^{1/K}-1)", "usable by RM-TS (<= cap)?"});
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const double value = harmonic_chain_bound_value(k);
+    hc.add_row({std::to_string(k), Table::num(value, 4),
+                value <= cap ? "yes" : "clamped to cap"});
+  }
+  hc.print_text(std::cout, "harmonic-chain bound vs the RM-TS cap (Section V examples)");
+
+  std::cout << '\n';
+  Table rb({"r", "R-bound (N=8)", "R-bound (N=32)"});
+  for (const double r : {1.0, 1.1, 1.25, 1.5, 1.75, 2.0}) {
+    rb.add_row({Table::num(r, 2), Table::num(r_bound_value(8, r), 4),
+                Table::num(r_bound_value(32, r), 4)});
+  }
+  rb.print_text(std::cout, "R-bound vs scaled-period ratio (min over r equals Theta(N))");
+  return 0;
+}

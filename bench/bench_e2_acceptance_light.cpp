@@ -1,0 +1,44 @@
+// E2: acceptance ratio vs normalized utilization, LIGHT task sets.
+//
+// Reproduced claims (Sections I and IV): exact-RTA admission lifts
+// RM-TS/light's average case far above the worst-case bound, while the
+// threshold-based SPA1 collapses right after Theta(N); strict partitioned
+// RM sits in between; all algorithms accept everything below Theta(N).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rmts;
+  const std::size_t m = 8;
+  const std::size_t n = 4 * m;
+  bench::banner(
+      "E2 acceptance, light task sets",
+      "RM-TS/light >> SPA1 above Theta(N); SPA1 collapses at Theta(N)=" +
+          Table::num(liu_layland_theta(n), 3),
+      "M=8, N=32, U_i <= Theta/(1+Theta)=" + Table::num(light_task_threshold(n), 3) +
+          ", log-uniform T in [1e3,1e6], 200 sets/point");
+
+  AcceptanceConfig config;
+  config.workload.tasks = n;
+  config.workload.processors = m;
+  config.workload.max_task_utilization = light_task_threshold(n);
+  config.utilization_points = sweep(0.60, 1.00, 11);
+  config.samples = 200;
+
+  const TestRoster roster{
+      std::make_shared<RmtsLight>(),
+      std::make_shared<Spa1>(),
+      bench::prm_ffd_rta(),
+      bench::prm_ffd_ll(),
+  };
+  const AcceptanceResult result = run_acceptance(config, roster);
+  result.to_table().print_text(std::cout, "acceptance ratio vs U_M (light sets)");
+
+  std::cout << "\n50%-acceptance frontier:\n";
+  for (std::size_t a = 0; a < roster.size(); ++a) {
+    std::cout << "  " << result.algorithm_names[a] << ": U_M = "
+              << Table::num(result.last_point_above(a, 0.5), 3) << '\n';
+  }
+  return 0;
+}

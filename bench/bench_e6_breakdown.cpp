@@ -1,0 +1,44 @@
+// E6: average breakdown utilization vs processor count.
+//
+// Reproduced claim (Section I): on uniprocessors, exact analysis gives RMS
+// ~88% average breakdown vs the 69.3% worst-case bound; the same gap
+// appears on multiprocessors -- RM-TS's average breakdown sits in the high
+// 80s/90s while SPA2's is pinned at ~Theta(N), because threshold admission
+// "never utilizes more than the worst-case bound".
+#include <iostream>
+
+#include "analysis/breakdown.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rmts;
+  bench::banner("E6 mean breakdown utilization vs M",
+                "RM-TS mean breakdown ~0.9+, SPA2 pinned near Theta(N), "
+                "strict P-RM in between",
+                "N=4M, U_i <= 0.5 shapes, 50 shapes per M, bisection tol 1e-3");
+
+  Table table({"M", "Theta(N)", "RM-TS", "RM-TS/light", "SPA2", "P-RM-FFD/rta"});
+  for (const std::size_t m : {2u, 4u, 8u, 16u}) {
+    BreakdownConfig config;
+    config.workload.tasks = 4 * m;
+    config.workload.processors = m;
+    config.workload.normalized_utilization = 0.5;
+    config.workload.max_task_utilization = 0.5;
+    config.samples = 50;
+    config.lo = 0.2;
+    config.hi = 1.0;
+
+    const TestRosterRef roster{
+        bench::rmts_ll(),
+        std::make_shared<RmtsLight>(),
+        std::make_shared<Spa2>(),
+        bench::prm_ffd_rta(),
+    };
+    const BreakdownResult result = run_breakdown(config, roster);
+    table.add_row({std::to_string(m), Table::num(liu_layland_theta(4 * m), 3),
+                   Table::num(result.mean[0], 3), Table::num(result.mean[1], 3),
+                   Table::num(result.mean[2], 3), Table::num(result.mean[3], 3)});
+  }
+  table.print_text(std::cout, "mean breakdown normalized utilization");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E8: algorithm cost (google-benchmark microbenchmarks).
+//
+// Quantifies what the paper asserts qualitatively: exact RTA and MaxSplit
+// are pseudo-polynomial "but in practice very efficient" (Section IV-A),
+// and the scheduling-point MaxSplit of [22] beats the binary search.
+// Also scales full partitioning runs with N and M -- the cost a design
+// loop pays per candidate configuration.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "partition/max_split.hpp"
+#include "rta/rta.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace rmts;
+
+/// Deterministic hosted processor with `count` moderately loaded subtasks.
+ProcessorState hosted_processor(std::size_t count) {
+  Rng rng(1234);
+  ProcessorState processor;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Time period = rng.uniform_int(1000, 1000000);
+    const Subtask s{i * 2 + 1,
+                    static_cast<TaskId>(i),
+                    0,
+                    std::max<Time>(1, period / (2 * static_cast<Time>(count))),
+                    period,
+                    period,
+                    SubtaskKind::kWhole};
+    if (processor.fits(s)) processor.add(s);
+  }
+  return processor;
+}
+
+TaskSet workload(std::size_t tasks, std::size_t processors, double u_m) {
+  Rng rng(4321);
+  WorkloadConfig config;
+  config.tasks = tasks;
+  config.processors = processors;
+  config.normalized_utilization = u_m;
+  config.max_task_utilization = 0.5;
+  return generate(rng, config);
+}
+
+void BM_Rta_ResponseTime(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const ProcessorState processor = hosted_processor(count);
+  const auto hosted = processor.subtasks();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        response_time(500, 1000000, hosted.first(hosted.size())));
+  }
+}
+BENCHMARK(BM_Rta_ResponseTime)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MaxSplit(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto method = state.range(1) == 0 ? MaxSplitMethod::kBinarySearch
+                                          : MaxSplitMethod::kSchedulingPoints;
+  const ProcessorState processor = hosted_processor(count);
+  const Subtask candidate{0, 999, 0, 400000, 800000, 800000, SubtaskKind::kWhole};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_admissible_wcet(processor, candidate, method));
+  }
+}
+BENCHMARK(BM_MaxSplit)
+    ->ArgsProduct({{2, 8, 32}, {0, 1}})
+    ->ArgNames({"hosted", "points"});
+
+void BM_Partition(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto algo_id = state.range(1);
+  const TaskSet tasks = workload(4 * m, m, 0.75);
+  std::shared_ptr<const Partitioner> algorithm;
+  switch (algo_id) {
+    case 0: algorithm = std::make_shared<RmtsLight>(); break;
+    case 1: algorithm = bench::rmts_ll(); break;
+    case 2: algorithm = std::make_shared<Spa2>(); break;
+    default: algorithm = bench::prm_ffd_rta(); break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithm->partition(tasks, m));
+  }
+  state.SetLabel(algorithm->name());
+}
+BENCHMARK(BM_Partition)
+    ->ArgsProduct({{4, 16, 64}, {0, 1, 2, 3}})
+    ->ArgNames({"M", "algo"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Simulator(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  WorkloadConfig config;
+  config.tasks = 4 * m;
+  config.processors = m;
+  config.normalized_utilization = 0.7;
+  config.max_task_utilization = 0.5;
+  config.period_model = PeriodModel::kGrid;
+  config.period_grid = small_hyperperiod_grid();
+  const TaskSet tasks = generate(rng, config);
+  const Assignment assignment = RmtsLight().partition(tasks, m);
+  if (!assignment.success) {
+    state.SkipWithError("partitioning failed");
+    return;
+  }
+  SimConfig sim;
+  sim.horizon = recommended_horizon(tasks, 1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(tasks, assignment, sim));
+  }
+  state.SetLabel("2 hyperperiods");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          sim.horizon);
+}
+BENCHMARK(BM_Simulator)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

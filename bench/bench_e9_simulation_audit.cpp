@@ -1,0 +1,84 @@
+// E9: soundness audit by simulation (paper Lemma 4 at system level).
+//
+// Every accepted partition is executed in the discrete-event simulator for
+// two hyperperiods.  Expectation: ZERO deadline misses for the exact-RTA
+// algorithms on any accepted set, and for the SPA family within their
+// theorems' premises.  (SPA rows outside the premises -- accepted sets
+// whose U_M exceeds Theta(N) or with heavy tasks under SPA1 -- are
+// reported separately; the audit documents rather than asserts them.)
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace rmts;
+  const std::size_t m = 4;
+  const std::size_t n = 16;
+  bench::banner("E9 simulation audit",
+                "accepted => no deadline miss over 2 hyperperiods (Lemma 4)",
+                "M=4, N=16, U_i <= 0.9, grid periods (hyperperiod 72000), "
+                "40 sets x 6 load points per algorithm");
+
+  struct Row {
+    std::shared_ptr<const Partitioner> algorithm;
+    int accepted = 0;
+    int misses = 0;
+    int in_premise_accepted = 0;
+    int in_premise_misses = 0;
+  };
+  std::vector<Row> rows{{bench::rmts_ll()},
+                        {std::make_shared<RmtsLight>()},
+                        {std::make_shared<Spa1>()},
+                        {std::make_shared<Spa2>()},
+                        {bench::prm_ffd_rta()}};
+
+  const double theta = liu_layland_theta(n);
+  Rng rng(909);
+  for (const double u_m : {0.50, 0.60, 0.65, 0.70, 0.80, 0.90}) {
+    for (int sample = 0; sample < 40; ++sample) {
+      WorkloadConfig config;
+      config.tasks = n;
+      config.processors = m;
+      config.period_model = PeriodModel::kGrid;
+      config.period_grid = small_hyperperiod_grid();
+      config.max_task_utilization = 0.9;
+      config.normalized_utilization = u_m;
+      Rng derived = rng.fork(static_cast<std::uint64_t>(sample * 1000 +
+                                                        static_cast<int>(u_m * 100)));
+      const TaskSet tasks = generate(derived, config);
+      const bool premise = tasks.normalized_utilization(m) <= theta;
+      for (Row& row : rows) {
+        const Assignment assignment = row.algorithm->partition(tasks, m);
+        if (!assignment.success) continue;
+        ++row.accepted;
+        if (premise) ++row.in_premise_accepted;
+        SimConfig sim;
+        sim.horizon = recommended_horizon(tasks, 1'000'000);
+        const SimResult run = simulate(tasks, assignment, sim);
+        if (!run.schedulable) {
+          ++row.misses;
+          if (premise) ++row.in_premise_misses;
+        }
+      }
+    }
+  }
+
+  Table table({"algorithm", "accepted", "missed", "accepted (U_M<=Theta)",
+               "missed (U_M<=Theta)"});
+  for (const Row& row : rows) {
+    table.add_row({row.algorithm->name(), std::to_string(row.accepted),
+                   std::to_string(row.misses),
+                   std::to_string(row.in_premise_accepted),
+                   std::to_string(row.in_premise_misses)});
+  }
+  table.print_text(std::cout, "accepted partitions vs simulated deadline misses");
+
+  // Hard soundness gate for the exact-RTA algorithms.
+  const bool sound = rows[0].misses == 0 && rows[1].misses == 0 &&
+                     rows[4].misses == 0;
+  std::cout << (sound ? "\nAUDIT PASS: exact-RTA algorithms miss-free\n"
+                      : "\nAUDIT FAIL: a supposedly sound algorithm missed!\n");
+  return sound ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Design-space exploration: the use case the paper's introduction
+// motivates.  Utilization-bound-based analysis is cheap enough to sit
+// inside an iterative sizing loop: "how many cores does this workload
+// need, under which algorithm, and how much margin is left?"
+//
+// For a fixed workload shape this example sweeps the core count, reports
+// which algorithms accept, and computes each algorithm's breakdown
+// utilization (the largest load the sized system could absorb).
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "analysis/breakdown.hpp"
+#include "analysis/sensitivity.hpp"
+#include "bounds/ll_bound.hpp"
+#include "common/table.hpp"
+#include "partition/baselines.hpp"
+#include "partition/rmts.hpp"
+#include "partition/rmts_light.hpp"
+#include "partition/spa.hpp"
+
+int main() {
+  using namespace rmts;
+
+  // An industrial controller workload: 18 tasks, mixed rates, U = 5.6.
+  const TaskSet tasks = TaskSet::from_pairs({
+      {400, 1000},   {350, 1000},  {900, 2500},  {700, 2500},  {1500, 5000},
+      {1600, 5000},  {1250, 5000}, {3000, 10000}, {2800, 10000}, {3300, 10000},
+      {2500, 10000}, {7500, 25000}, {8000, 25000}, {6000, 25000}, {15000, 50000},
+      {17500, 50000}, {12500, 50000}, {30000, 100000},
+  });
+  std::cout << "Workload: N = " << tasks.size()
+            << ", U = " << tasks.total_utilization() << "\n\n";
+
+  std::vector<std::shared_ptr<const SchedulabilityTest>> roster{
+      std::make_shared<Rmts>(std::make_shared<LiuLaylandBound>()),
+      std::make_shared<RmtsLight>(),
+      std::make_shared<Spa2>(),
+      std::make_shared<PartitionedRm>(FitPolicy::kFirstFit,
+                                      TaskOrder::kDecreasingUtilization,
+                                      Admission::kExactRta),
+      std::make_shared<GlobalRmUs>(),
+  };
+
+  // --- Sizing sweep: smallest M each algorithm needs -----------------
+  Table sizing({"M", "U_M", "RM-TS", "RM-TS/light", "SPA2", "P-RM", "G-RM-US"});
+  for (std::size_t m = 6; m <= 12; ++m) {
+    std::vector<std::string> row{std::to_string(m),
+                                 Table::num(tasks.normalized_utilization(m), 3)};
+    for (const auto& algorithm : roster) {
+      row.push_back(algorithm->accepts(tasks, m) ? "yes" : "no");
+    }
+    sizing.add_row(std::move(row));
+  }
+  sizing.print_text(std::cout, "cores needed (acceptance per M)");
+
+  // --- Margin at the chosen size: breakdown utilization --------------
+  const std::size_t chosen = 8;
+  std::cout << "\nbreakdown utilization at M = " << chosen
+            << " (scale all WCETs until rejection):\n";
+  for (const auto& algorithm : roster) {
+    const double breakdown =
+        breakdown_utilization(*algorithm, tasks, chosen, 0.05, 1.0);
+    std::cout << "  " << algorithm->name() << ": U_M = "
+              << Table::num(breakdown, 3) << '\n';
+  }
+
+  // --- Per-task WCET headroom under RM-TS at the chosen size ---------
+  std::cout << "\nper-task WCET headroom under " << roster.front()->name()
+            << " at M = " << chosen << " (grow one task, others fixed):\n";
+  const std::vector<Time> headroom = wcet_headroom(*roster.front(), tasks, chosen);
+  Table margin({"task", "wcet", "max wcet", "headroom %"});
+  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+    const Task& task = tasks[rank];
+    margin.add_row(
+        {"tau_" + std::to_string(task.id), std::to_string(task.wcet),
+         std::to_string(headroom[rank]),
+         Table::num(100.0 * static_cast<double>(headroom[rank] - task.wcet) /
+                        static_cast<double>(task.wcet),
+                    1)});
+  }
+  margin.print_text(std::cout, "WCET growth margins");
+
+  std::cout << "\nminimum processors per algorithm (max 16):\n";
+  for (const auto& algorithm : roster) {
+    std::cout << "  " << algorithm->name() << ": M = "
+              << min_processors(*algorithm, tasks, 16) << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "analysis/acceptance.hpp"
+
+#include <atomic>
+
+#include "analysis/parallel.hpp"
+#include "common/error.hpp"
+
+namespace rmts {
+
+std::vector<double> sweep(double lo, double hi, std::size_t count) {
+  if (count < 2) throw InvalidConfigError("sweep: need at least two points");
+  std::vector<double> points(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points[i] = lo + (hi - lo) * static_cast<double>(i) /
+                         static_cast<double>(count - 1);
+  }
+  return points;
+}
+
+AcceptanceResult run_acceptance(const AcceptanceConfig& config,
+                                const TestRoster& roster) {
+  if (roster.empty()) throw InvalidConfigError("run_acceptance: empty roster");
+  if (config.utilization_points.empty() || config.samples == 0) {
+    throw InvalidConfigError("run_acceptance: empty sweep");
+  }
+
+  AcceptanceResult result;
+  result.utilization_points = config.utilization_points;
+  for (const auto& test : roster) result.algorithm_names.push_back(test->name());
+  result.ratio.assign(config.utilization_points.size(),
+                      std::vector<double>(roster.size(), 0.0));
+
+  const std::size_t points = config.utilization_points.size();
+  // accepted[point][algo], accumulated atomically across workers.
+  std::vector<std::vector<std::atomic<std::size_t>>> accepted(points);
+  for (auto& row : accepted) {
+    row = std::vector<std::atomic<std::size_t>>(roster.size());
+  }
+
+  const Rng base_rng(config.seed);
+  parallel_for(points * config.samples, config.threads, [&](std::size_t index) {
+    const std::size_t point = index / config.samples;
+    WorkloadConfig workload = config.workload;
+    workload.normalized_utilization = config.utilization_points[point];
+    Rng rng = base_rng.fork(index);
+    const TaskSet tasks = generate(rng, workload);
+    for (std::size_t a = 0; a < roster.size(); ++a) {
+      if (roster[a]->accepts(tasks, workload.processors)) {
+        accepted[point][a].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  for (std::size_t p = 0; p < points; ++p) {
+    for (std::size_t a = 0; a < roster.size(); ++a) {
+      result.ratio[p][a] = static_cast<double>(accepted[p][a].load()) /
+                           static_cast<double>(config.samples);
+    }
+  }
+  return result;
+}
+
+Table AcceptanceResult::to_table() const {
+  std::vector<std::string> header{"U_M"};
+  header.insert(header.end(), algorithm_names.begin(), algorithm_names.end());
+  Table table(std::move(header));
+  for (std::size_t p = 0; p < utilization_points.size(); ++p) {
+    std::vector<std::string> row{Table::num(utilization_points[p], 3)};
+    for (const double r : ratio[p]) row.push_back(Table::num(r, 3));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+double AcceptanceResult::last_point_above(std::size_t algorithm,
+                                          double level) const {
+  double best = 0.0;
+  for (std::size_t p = 0; p < utilization_points.size(); ++p) {
+    if (ratio[p][algorithm] >= level) best = utilization_points[p];
+  }
+  return best;
+}
+
+}  // namespace rmts

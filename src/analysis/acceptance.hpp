@@ -1,0 +1,55 @@
+// Acceptance-ratio experiments: the workhorse behind the reproduced
+// figures.  For each normalized-utilization point, `samples` random task
+// sets are drawn and every algorithm's acceptance fraction is recorded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/table.hpp"
+#include "partition/assignment.hpp"
+#include "workload/generators.hpp"
+
+namespace rmts {
+
+/// Roster of algorithms under comparison.
+using TestRoster = std::vector<std::shared_ptr<const SchedulabilityTest>>;
+
+struct AcceptanceConfig {
+  /// Population template; its normalized_utilization field is overridden
+  /// by each sweep point.
+  WorkloadConfig workload;
+  /// U_M(tau) sweep points (x axis of the reproduced figures).
+  std::vector<double> utilization_points;
+  std::size_t samples{200};
+  std::uint64_t seed{20120521};  // IPDPS 2012 started May 21
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads{0};
+};
+
+struct AcceptanceResult {
+  std::vector<std::string> algorithm_names;
+  std::vector<double> utilization_points;
+  /// ratio[point][algorithm] = accepted fraction in [0, 1].
+  std::vector<std::vector<double>> ratio;
+
+  /// Renders the figure data: one row per sweep point, one column per
+  /// algorithm.
+  [[nodiscard]] Table to_table() const;
+
+  /// Largest sweep point at which `algorithm` still accepts at least
+  /// `level` of the samples (0.0 if none) -- a scalar summary used to
+  /// compare curves ("where does acceptance collapse?").
+  [[nodiscard]] double last_point_above(std::size_t algorithm, double level) const;
+};
+
+/// Runs the experiment.  Deterministic in (config.seed, sample index):
+/// thread count does not affect results.
+[[nodiscard]] AcceptanceResult run_acceptance(const AcceptanceConfig& config,
+                                              const TestRoster& roster);
+
+/// Evenly spaced sweep [lo, hi] with `count` points (count >= 2).
+[[nodiscard]] std::vector<double> sweep(double lo, double hi, std::size_t count);
+
+}  // namespace rmts

@@ -1,0 +1,86 @@
+#include "analysis/breakdown.hpp"
+
+#include <algorithm>
+
+#include "analysis/parallel.hpp"
+#include "common/error.hpp"
+
+namespace rmts {
+
+namespace {
+
+/// Scales `base` so its normalized utilization is ~`target`, respecting
+/// the per-task U <= 1 cap (the caller's `hi` should stay below the level
+/// where the cap binds, or the achieved level falls short of the target).
+TaskSet scale_to(const TaskSet& base, std::size_t processors, double target) {
+  const double current = base.normalized_utilization(processors);
+  return base.scaled_wcets(target / current);
+}
+
+}  // namespace
+
+double breakdown_utilization(const SchedulabilityTest& test, const TaskSet& base,
+                             std::size_t processors, double lo, double hi,
+                             double tol) {
+  if (!(lo > 0.0) || lo > hi) {
+    throw InvalidConfigError("breakdown_utilization: bad [lo, hi]");
+  }
+  // Keep the scale below the point where some task would exceed U = 1;
+  // beyond it scaled_wcets clamps and the "shape" is no longer preserved.
+  const double cap =
+      base.normalized_utilization(processors) / base.max_utilization();
+  hi = std::min(hi, cap);
+  if (hi < lo) return 0.0;
+
+  if (!test.accepts(scale_to(base, processors, lo), processors)) return 0.0;
+  if (test.accepts(scale_to(base, processors, hi), processors)) return hi;
+
+  double good = lo;
+  double bad = hi;
+  while (bad - good > tol) {
+    const double mid = 0.5 * (good + bad);
+    if (test.accepts(scale_to(base, processors, mid), processors)) {
+      good = mid;
+    } else {
+      bad = mid;
+    }
+  }
+  return good;
+}
+
+BreakdownResult run_breakdown(const BreakdownConfig& config,
+                              const TestRosterRef& roster) {
+  if (roster.empty()) throw InvalidConfigError("run_breakdown: empty roster");
+
+  BreakdownResult result;
+  for (const auto& test : roster) result.algorithm_names.push_back(test->name());
+  result.mean.assign(roster.size(), 0.0);
+  result.min.assign(roster.size(), config.hi);
+
+  // Per-sample results land in an indexed matrix and are reduced in index
+  // order afterwards, so the floating-point sums are bit-identical for any
+  // thread count.
+  std::vector<std::vector<double>> per_sample(
+      config.samples, std::vector<double>(roster.size(), 0.0));
+  const Rng base_rng(config.seed);
+  parallel_for(config.samples, config.threads, [&](std::size_t sample) {
+    Rng rng = base_rng.fork(sample);
+    const TaskSet base = generate(rng, config.workload);
+    for (std::size_t a = 0; a < roster.size(); ++a) {
+      per_sample[sample][a] =
+          breakdown_utilization(*roster[a], base, config.workload.processors,
+                                config.lo, config.hi, config.tol);
+    }
+  });
+
+  for (std::size_t sample = 0; sample < config.samples; ++sample) {
+    for (std::size_t a = 0; a < roster.size(); ++a) {
+      result.mean[a] += per_sample[sample][a];
+      result.min[a] = std::min(result.min[a], per_sample[sample][a]);
+    }
+  }
+  for (double& value : result.mean) value /= static_cast<double>(config.samples);
+  return result;
+}
+
+}  // namespace rmts

@@ -1,0 +1,56 @@
+// Breakdown-utilization search (experiment E6).
+//
+// The breakdown utilization of an algorithm on a task-set *shape* is the
+// largest normalized utilization at which the proportionally-inflated set
+// is still accepted -- the multiprocessor analogue of the classic
+// uniprocessor statistic ("RMS breaks down at ~88% on average although the
+// worst-case bound is 69.3%", paper Section I).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "partition/assignment.hpp"
+#include "workload/generators.hpp"
+
+namespace rmts {
+
+/// Breakdown utilization of `test` for the shape of `base` on M
+/// processors: WCETs are scaled by a common factor and the largest
+/// accepted normalized utilization in [lo, hi] is located by bisection to
+/// absolute tolerance `tol`.  Returns 0 when even `lo` is rejected.
+/// (Acceptance of practical partitioning heuristics is monotone in load in
+/// all but pathological cases; bisection is the standard estimator.)
+[[nodiscard]] double breakdown_utilization(const SchedulabilityTest& test,
+                                           const TaskSet& base,
+                                           std::size_t processors, double lo,
+                                           double hi, double tol = 1e-3);
+
+struct BreakdownConfig {
+  /// Shape population; normalized_utilization is the *initial* draw level
+  /// (kept moderate so the shape, not the level, is what is sampled).
+  WorkloadConfig workload;
+  std::size_t samples{100};
+  std::uint64_t seed{20120521};
+  std::size_t threads{0};
+  double lo{0.1};
+  double hi{1.0};
+  double tol{1e-3};
+};
+
+struct BreakdownResult {
+  std::vector<std::string> algorithm_names;
+  /// Mean breakdown utilization per algorithm.
+  std::vector<double> mean;
+  /// Minimum over samples per algorithm (empirical worst case).
+  std::vector<double> min;
+};
+
+using TestRosterRef = std::vector<std::shared_ptr<const SchedulabilityTest>>;
+
+/// Averages breakdown_utilization over `samples` random shapes.
+[[nodiscard]] BreakdownResult run_breakdown(const BreakdownConfig& config,
+                                            const TestRosterRef& roster);
+
+}  // namespace rmts

@@ -1,0 +1,20 @@
+// Thread-parallel index loop for experiment sweeps.
+//
+// Samples of an experiment are independent by construction (each derives
+// its own Rng from (seed, index)), so a strided static partition over
+// worker threads is race-free and deterministic regardless of thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace rmts {
+
+/// Runs fn(0) ... fn(count-1) across up to `threads` worker threads
+/// (0 = std::thread::hardware_concurrency).  fn must be safe to call
+/// concurrently for distinct indices.  The first exception thrown by any
+/// worker is rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace rmts

@@ -1,0 +1,74 @@
+#include "analysis/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rmts {
+
+namespace {
+
+/// Rebuilds `tasks` with the task of id `id` given WCET `wcet`.
+TaskSet with_wcet(const TaskSet& tasks, TaskId id, Time wcet) {
+  std::vector<Task> modified(tasks.begin(), tasks.end());
+  for (Task& task : modified) {
+    if (task.id == id) task.wcet = wcet;
+  }
+  return TaskSet(std::move(modified));
+}
+
+}  // namespace
+
+std::size_t min_processors(const SchedulabilityTest& test, const TaskSet& tasks,
+                           std::size_t max_processors) {
+  for (std::size_t m = 1; m <= max_processors; ++m) {
+    if (test.accepts(tasks, m)) return m;
+  }
+  return 0;
+}
+
+std::vector<Time> wcet_headroom(const SchedulabilityTest& test,
+                                const TaskSet& tasks, std::size_t processors) {
+  if (!test.accepts(tasks, processors)) {
+    throw InvalidConfigError("wcet_headroom: base set not accepted");
+  }
+  std::vector<Time> headroom;
+  headroom.reserve(tasks.size());
+  for (const Task& task : tasks) {
+    Time lo = task.wcet;  // known accepted
+    Time hi = task.period;
+    while (lo < hi) {
+      const Time mid = lo + (hi - lo + 1) / 2;
+      if (test.accepts(with_wcet(tasks, task.id, mid), processors)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    headroom.push_back(lo);
+  }
+  return headroom;
+}
+
+double critical_scaling_factor(const SchedulabilityTest& test,
+                               const TaskSet& tasks, std::size_t processors,
+                               double lo, double hi, double tol) {
+  if (!(lo > 0.0) || lo > hi) {
+    throw InvalidConfigError("critical_scaling_factor: bad [lo, hi]");
+  }
+  if (!test.accepts(tasks.scaled_wcets(lo), processors)) return 0.0;
+  if (test.accepts(tasks.scaled_wcets(hi), processors)) return hi;
+  double good = lo;
+  double bad = hi;
+  while (bad - good > tol) {
+    const double mid = 0.5 * (good + bad);
+    if (test.accepts(tasks.scaled_wcets(mid), processors)) {
+      good = mid;
+    } else {
+      bad = mid;
+    }
+  }
+  return good;
+}
+
+}  // namespace rmts

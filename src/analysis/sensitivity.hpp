@@ -1,0 +1,41 @@
+// Sensitivity analysis: the "what-if" queries of the design loop the
+// paper's introduction motivates (iterative design-space exploration).
+//
+// All queries treat the schedulability test as a black box and bisect, so
+// they work with any algorithm in the roster (including RM-TS, whose
+// acceptance is what the designer will actually ship).
+#pragma once
+
+#include <vector>
+
+#include "partition/assignment.hpp"
+
+namespace rmts {
+
+/// Smallest processor count in [1, max_processors] on which `test`
+/// accepts `tasks`; 0 if none does.  Linear scan (acceptance is monotone
+/// in M for all implemented tests in practice, but a scan is cheap and
+/// makes no assumption).
+[[nodiscard]] std::size_t min_processors(const SchedulabilityTest& test,
+                                         const TaskSet& tasks,
+                                         std::size_t max_processors);
+
+/// Per-task WCET headroom: for each task (in RM order), the largest WCET
+/// in [current, period] that keeps the set accepted when every other task
+/// is left untouched.  The current WCET is returned for tasks with no
+/// headroom; requires the unmodified set to be accepted (throws
+/// InvalidConfigError otherwise).
+[[nodiscard]] std::vector<Time> wcet_headroom(const SchedulabilityTest& test,
+                                              const TaskSet& tasks,
+                                              std::size_t processors);
+
+/// The critical scaling factor: largest f such that scaling every WCET by
+/// f (rounded to ticks, capped at U_i = 1) is still accepted; bisected to
+/// `tol`.  Returns 0 if even factor `lo` is rejected.
+[[nodiscard]] double critical_scaling_factor(const SchedulabilityTest& test,
+                                             const TaskSet& tasks,
+                                             std::size_t processors,
+                                             double lo = 0.1, double hi = 4.0,
+                                             double tol = 1e-3);
+
+}  // namespace rmts

@@ -1,0 +1,50 @@
+#include "bounds/best_of.hpp"
+
+#include <memory>
+
+#include "bounds/burchard.hpp"
+#include "bounds/harmonic.hpp"
+#include "bounds/ll_bound.hpp"
+#include "bounds/scaled_periods.hpp"
+#include "common/error.hpp"
+
+namespace rmts {
+
+BestOfBounds::BestOfBounds(std::vector<BoundPtr> bounds, std::string label)
+    : bounds_(std::move(bounds)), label_(std::move(label)) {
+  if (bounds_.empty()) {
+    throw InvalidConfigError("BestOfBounds: need at least one bound");
+  }
+}
+
+double BestOfBounds::evaluate(const TaskSet& tasks) const {
+  double best = 0.0;
+  for (const BoundPtr& bound : bounds_) {
+    best = std::max(best, bound->evaluate(tasks));
+  }
+  return best;
+}
+
+const ParametricBound& BestOfBounds::winner(const TaskSet& tasks) const {
+  const ParametricBound* best = bounds_.front().get();
+  double best_value = best->evaluate(tasks);
+  for (const BoundPtr& bound : bounds_) {
+    const double value = bound->evaluate(tasks);
+    if (value > best_value) {
+      best_value = value;
+      best = bound.get();
+    }
+  }
+  return *best;
+}
+
+BestOfBounds BestOfBounds::all_known() {
+  return BestOfBounds({std::make_shared<LiuLaylandBound>(),
+                       std::make_shared<HarmonicChainBound>(),
+                       std::make_shared<TBound>(),
+                       std::make_shared<RBound>(),
+                       std::make_shared<BurchardBound>()},
+                      "best-of-all");
+}
+
+}  // namespace rmts

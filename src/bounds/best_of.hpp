@@ -1,0 +1,36 @@
+// Pointwise maximum of deflatable parametric utilization bounds.
+//
+// If U(tau) <= max_i Lambda_i(tau) then U(tau) <= Lambda_j(tau) for the
+// maximizing j, so the set is schedulable by bound j's guarantee: the max
+// of D-PUBs is itself a D-PUB.  This is how a system designer would
+// actually instantiate RM-TS -- evaluate every known bound on the task
+// set's parameters and take the best one (experiment E13).
+#pragma once
+
+#include <vector>
+
+#include "bounds/bound.hpp"
+
+namespace rmts {
+
+class BestOfBounds final : public ParametricBound {
+ public:
+  /// Requires at least one bound.
+  explicit BestOfBounds(std::vector<BoundPtr> bounds, std::string label = "best-of");
+
+  [[nodiscard]] double evaluate(const TaskSet& tasks) const override;
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  /// The constituent whose value is maximal for `tasks` (ties: first).
+  [[nodiscard]] const ParametricBound& winner(const TaskSet& tasks) const;
+
+  /// Convenience: all bounds implemented in this library (LL, HC, T, R,
+  /// Burchard).
+  [[nodiscard]] static BestOfBounds all_known();
+
+ private:
+  std::vector<BoundPtr> bounds_;
+  std::string label_;
+};
+
+}  // namespace rmts

@@ -1,0 +1,31 @@
+#include "bounds/bound.hpp"
+
+#include <cmath>
+
+#include "bounds/ll_bound.hpp"
+
+namespace rmts {
+
+double liu_layland_theta(std::size_t n) noexcept {
+  if (n == 0) return 1.0;
+  const double nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+double liu_layland_theta_limit() noexcept { return std::log(2.0); }
+
+double light_task_threshold(std::size_t n) noexcept {
+  const double theta = liu_layland_theta(n);
+  return theta / (1.0 + theta);
+}
+
+double rmts_bound_cap(std::size_t n) noexcept {
+  const double theta = liu_layland_theta(n);
+  return 2.0 * theta / (1.0 + theta);
+}
+
+double LiuLaylandBound::evaluate(const TaskSet& tasks) const {
+  return liu_layland_theta(tasks.size());
+}
+
+}  // namespace rmts

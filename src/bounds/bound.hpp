@@ -1,0 +1,56 @@
+// Parametric utilization bounds (Section III).
+//
+// A parametric utilization bound (PUB) Lambda(tau) maps a task set's
+// *parameters* to a utilization threshold such that U(tau) <= Lambda(tau)
+// guarantees uniprocessor RMS schedulability.  All bounds implemented here
+// are *deflatable* (D-PUB, paper Lemma 1): they depend only on periods and
+// the task count, never on execution times, so decreasing WCETs (which is
+// what partitioning and splitting do to the per-processor workloads) keeps
+// the bound computed from the ORIGINAL task set valid.
+//
+// Usage in the multiprocessor algorithms: Lambda is evaluated once on the
+// full task set tau and reused as a per-processor threshold in proofs and
+// in RM-TS's pre-assign condition.  It is never re-evaluated on the
+// partitioned subsets -- that would be unsound (a split harmonic set stops
+// being harmonic, paper Fig. 2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tasks/task_set.hpp"
+
+namespace rmts {
+
+/// Interface of a deflatable parametric utilization bound.
+class ParametricBound {
+ public:
+  virtual ~ParametricBound() = default;
+
+  /// Lambda(tau) in (0, 1].  Must depend only on deflation-invariant
+  /// parameters (periods, task count) -- property-tested in
+  /// tests/bounds_test.cpp.
+  [[nodiscard]] virtual double evaluate(const TaskSet& tasks) const = 0;
+
+  /// Short identifier for tables ("LL", "HC", "T-bound", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using BoundPtr = std::shared_ptr<const ParametricBound>;
+
+/// The Liu & Layland bound Theta(n) = n(2^{1/n} - 1); Theta(0) := 1,
+/// monotonically decreasing to ln 2 ~= 0.6931.
+[[nodiscard]] double liu_layland_theta(std::size_t n) noexcept;
+
+/// ln 2, the N -> infinity limit of Theta.
+[[nodiscard]] double liu_layland_theta_limit() noexcept;
+
+/// The paper's light-task threshold Theta/(1 + Theta) (Definition 1);
+/// ~= 40.9% as n -> infinity.
+[[nodiscard]] double light_task_threshold(std::size_t n) noexcept;
+
+/// The RM-TS cap 2*Theta/(1 + Theta) (Section V); any D-PUB value above it
+/// is clamped before being used by RM-TS.  ~= 81.8% as n -> infinity.
+[[nodiscard]] double rmts_bound_cap(std::size_t n) noexcept;
+
+}  // namespace rmts

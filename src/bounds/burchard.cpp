@@ -1,0 +1,33 @@
+#include "bounds/burchard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmts {
+
+double log_period_spread(const TaskSet& tasks) noexcept {
+  double min_s = 1.0;
+  double max_s = 0.0;
+  for (const Task& task : tasks) {
+    const double log_period = std::log2(static_cast<double>(task.period));
+    const double fractional = log_period - std::floor(log_period);
+    min_s = std::min(min_s, fractional);
+    max_s = std::max(max_s, fractional);
+  }
+  return tasks.empty() ? 0.0 : max_s - min_s;
+}
+
+double burchard_bound_value(std::size_t n, double beta) noexcept {
+  if (n == 0) return 1.0;
+  const double nd = static_cast<double>(n);
+  if (beta >= 1.0 - 1.0 / nd) return liu_layland_theta(n);
+  if (n == 1) return 1.0;
+  return (nd - 1.0) * (std::pow(2.0, beta / (nd - 1.0)) - 1.0) +
+         std::pow(2.0, 1.0 - beta) - 1.0;
+}
+
+double BurchardBound::evaluate(const TaskSet& tasks) const {
+  return burchard_bound_value(tasks.size(), log_period_spread(tasks));
+}
+
+}  // namespace rmts

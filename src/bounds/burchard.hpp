@@ -1,0 +1,29 @@
+// The Burchard-Liebeherr-Oh-Son period-similarity bound (1995) -- another
+// deflatable PUB of the kind Section III enumerates ("the following are
+// some examples"): it depends only on task count and periods, so it plugs
+// straight into RM-TS.
+//
+// With S_i = log2 T_i - floor(log2 T_i) and beta = max S_i - min S_i:
+//   beta <  1 - 1/N :  U <= (N-1)(2^{beta/(N-1)} - 1) + 2^{1-beta} - 1
+//   beta >= 1 - 1/N :  U <= Theta(N)
+// Periods clustered within a narrow log-band (beta -> 0) push the bound to
+// 100%; spread-out periods degrade gracefully to the L&L bound.
+#pragma once
+
+#include "bounds/bound.hpp"
+
+namespace rmts {
+
+class BurchardBound final : public ParametricBound {
+ public:
+  [[nodiscard]] double evaluate(const TaskSet& tasks) const override;
+  [[nodiscard]] std::string name() const override { return "Burchard"; }
+};
+
+/// Closed form for a given task count and log-period spread beta in [0, 1).
+[[nodiscard]] double burchard_bound_value(std::size_t n, double beta) noexcept;
+
+/// beta(tau) = max_i S_i - min_i S_i over S_i = frac(log2 T_i).
+[[nodiscard]] double log_period_spread(const TaskSet& tasks) noexcept;
+
+}  // namespace rmts

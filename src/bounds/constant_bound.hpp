@@ -1,0 +1,25 @@
+// A fixed-value bound, useful for experiments ("what if we feed RM-TS the
+// 100% bound regardless of structure?") and for modelling externally-derived
+// non-closed-form D-PUBs.  It is trivially deflatable because it ignores
+// the task set entirely -- soundness as a *uniprocessor* bound is the
+// caller's obligation.
+#pragma once
+
+#include "bounds/bound.hpp"
+
+namespace rmts {
+
+class ConstantBound final : public ParametricBound {
+ public:
+  explicit ConstantBound(double value, std::string label = "const")
+      : value_(value), label_(std::move(label)) {}
+
+  [[nodiscard]] double evaluate(const TaskSet&) const override { return value_; }
+  [[nodiscard]] std::string name() const override { return label_; }
+
+ private:
+  double value_;
+  std::string label_;
+};
+
+}  // namespace rmts

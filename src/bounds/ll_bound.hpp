@@ -1,0 +1,17 @@
+// The Liu & Layland bound as a ParametricBound: Lambda(tau) = Theta(N).
+// Instantiating RM-TS/light with this bound recovers the algorithm of [16]
+// in guarantee (though not in average-case behaviour, thanks to exact RTA).
+#pragma once
+
+#include "bounds/bound.hpp"
+
+namespace rmts {
+
+/// Lambda(tau) = N(2^{1/N} - 1) where N = |tau|.
+class LiuLaylandBound final : public ParametricBound {
+ public:
+  [[nodiscard]] double evaluate(const TaskSet& tasks) const override;
+  [[nodiscard]] std::string name() const override { return "LL"; }
+};
+
+}  // namespace rmts

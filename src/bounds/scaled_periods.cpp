@@ -1,0 +1,53 @@
+#include "bounds/scaled_periods.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rmts {
+
+std::vector<Time> scale_periods(std::span<const Time> periods) {
+  std::vector<Time> scaled(periods.begin(), periods.end());
+  if (scaled.empty()) return scaled;
+  const Time t_max = *std::max_element(scaled.begin(), scaled.end());
+  for (Time& p : scaled) {
+    // Largest power of two <= t_max / p (real-valued ratio >= 1).  For an
+    // integer power of two q: q <= t_max/p  <=>  q <= floor(t_max/p), so
+    // bit_floor of the integer quotient is exact.
+    const auto quotient = static_cast<std::uint64_t>(t_max / p);
+    const Time factor = static_cast<Time>(std::bit_floor(quotient));
+    p *= factor;
+  }
+  return scaled;
+}
+
+double TBound::evaluate(const TaskSet& tasks) const {
+  const std::size_t n = tasks.size();
+  if (n <= 1) return 1.0;
+  std::vector<Time> scaled = scale_periods(tasks.periods());
+  std::sort(scaled.begin(), scaled.end());
+  double bound = -static_cast<double>(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    bound += static_cast<double>(scaled[i + 1]) / static_cast<double>(scaled[i]);
+  }
+  bound += 2.0 * static_cast<double>(scaled.front()) /
+           static_cast<double>(scaled.back());
+  return bound;
+}
+
+double r_bound_value(std::size_t n, double ratio) noexcept {
+  if (n <= 1) return 1.0;
+  const double n1 = static_cast<double>(n - 1);
+  return n1 * (std::pow(ratio, 1.0 / n1) - 1.0) + 2.0 / ratio - 1.0;
+}
+
+double RBound::evaluate(const TaskSet& tasks) const {
+  const std::size_t n = tasks.size();
+  if (n <= 1) return 1.0;
+  std::vector<Time> scaled = scale_periods(tasks.periods());
+  const auto [min_it, max_it] = std::minmax_element(scaled.begin(), scaled.end());
+  const double ratio = static_cast<double>(*max_it) / static_cast<double>(*min_it);
+  return r_bound_value(n, ratio);
+}
+
+}  // namespace rmts

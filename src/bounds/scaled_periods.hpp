@@ -1,0 +1,43 @@
+// Period scaling and the period-aware T-Bound / R-Bound [23]
+// (Lauzac, Melhem, Mosse).
+//
+// ScaleTaskSet maps every period into (T_max/2, T_max] by multiplying with
+// the largest power of two that keeps it <= T_max: T'_i = T_i * 2^k with
+// k = floor(log2(T_max / T_i)).  RMS schedulability is invariant under this
+// transform in the bound's worst case, which lets the bounds look only at
+// period ratios within one octave.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bounds/bound.hpp"
+#include "common/time.hpp"
+
+namespace rmts {
+
+/// The scaled periods T'_i (same order as input); all in (max/2, max].
+[[nodiscard]] std::vector<Time> scale_periods(std::span<const Time> periods);
+
+/// T-Bound(tau) = sum_{i=1}^{N-1} T'_{i+1}/T'_i + 2*T'_1/T'_N - N over the
+/// sorted scaled periods.  Evaluates to 1.0 for harmonic-by-powers-of-two
+/// sets and degrades towards Theta(N) as the scaled periods spread.
+class TBound final : public ParametricBound {
+ public:
+  [[nodiscard]] double evaluate(const TaskSet& tasks) const override;
+  [[nodiscard]] std::string name() const override { return "T-bound"; }
+};
+
+/// R-Bound(tau) = (N-1)(r^{1/(N-1)} - 1) + 2/r - 1 with
+/// r = max(T')/min(T') in [1, 2): a coarser, single-parameter abstraction
+/// of the T-Bound.
+class RBound final : public ParametricBound {
+ public:
+  [[nodiscard]] double evaluate(const TaskSet& tasks) const override;
+  [[nodiscard]] std::string name() const override { return "R-bound"; }
+};
+
+/// Closed-form R-bound for a given task count and scaled-period ratio.
+[[nodiscard]] double r_bound_value(std::size_t n, double ratio) noexcept;
+
+}  // namespace rmts

@@ -1,0 +1,49 @@
+// Overflow-aware integer helpers.
+//
+// Hyperperiods of randomly generated task sets overflow int64 easily; every
+// place that multiplies periods goes through the saturating helpers here so
+// that callers can detect "horizon too large" instead of invoking UB.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <span>
+
+#include "common/time.hpp"
+
+namespace rmts {
+
+/// Multiplies two non-negative Times, returning nullopt on overflow.
+[[nodiscard]] constexpr std::optional<Time> checked_mul(Time a, Time b) noexcept {
+  if (a == 0 || b == 0) return Time{0};
+  if (a > kTimeInfinity / b) return std::nullopt;
+  return a * b;
+}
+
+/// Adds two non-negative Times, returning nullopt on overflow.
+[[nodiscard]] constexpr std::optional<Time> checked_add(Time a, Time b) noexcept {
+  if (a > kTimeInfinity - b) return std::nullopt;
+  return a + b;
+}
+
+/// Least common multiple of two positive Times, nullopt on overflow.
+[[nodiscard]] constexpr std::optional<Time> checked_lcm(Time a, Time b) noexcept {
+  const Time g = std::gcd(a, b);
+  return checked_mul(a / g, b);
+}
+
+/// LCM of a sequence of positive periods; nullopt if it exceeds int64.
+/// This is the hyperperiod computation used by the simulator to pick its
+/// validation horizon.
+[[nodiscard]] inline std::optional<Time> hyperperiod(std::span<const Time> periods) noexcept {
+  Time acc = 1;
+  for (const Time p : periods) {
+    const auto next = checked_lcm(acc, p);
+    if (!next) return std::nullopt;
+    acc = *next;
+  }
+  return acc;
+}
+
+}  // namespace rmts

@@ -1,0 +1,34 @@
+// Typed error hierarchy.
+//
+// The library throws on *caller contract violations* (malformed task sets,
+// invalid experiment configurations).  Analysis outcomes that are expected
+// in normal operation -- "not schedulable", "partitioning failed" -- are
+// ordinary return values, never exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rmts {
+
+/// Base class for all rmts errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A task or task set violates the model's preconditions
+/// (non-positive period, WCET > period, overflowing parameters, ...).
+class InvalidTaskError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An experiment / generator configuration is self-contradictory
+/// (zero processors, utilization target out of range, ...).
+class InvalidConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace rmts

@@ -1,0 +1,98 @@
+// Deterministic random number generation.
+//
+// Experiments must be bit-reproducible across platforms and standard-library
+// implementations, so we do not use std::uniform_*_distribution (whose
+// algorithms are implementation-defined).  Rng wraps a SplitMix64 /
+// xoshiro256** pipeline with hand-rolled, portable distributions.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace rmts {
+
+/// xoshiro256** seeded via SplitMix64; portable uniform/exponential/log-
+/// uniform draws.  Cheap to copy; each experiment sample owns its own Rng
+/// derived from (base_seed, sample_index) so thread-parallel sweeps are
+/// order-independent.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the xoshiro state, as
+    // recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Derives an independent stream for a sub-experiment. Mixing the stream
+  /// id through SplitMix64 keeps streams decorrelated even for adjacent ids.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept {
+    Rng child = *this;
+    child.state_[0] ^= 0xD2B74407B1CE6E93ULL * (stream + 1);
+    child.state_[2] ^= 0xCA5A826395121157ULL * (stream + 0x9E3779B9ULL);
+    (void)child.next();  // decorrelate
+    (void)child.next();
+    return child;
+  }
+
+  /// Raw 64 random bits (xoshiro256**).
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Modulo mapping: the bias is < range / 2^64, far below anything the
+    // experiments could resolve, and the result is fully deterministic.
+    return lo + static_cast<std::int64_t>(next() % range);
+  }
+
+  /// Log-uniform integer in [lo, hi]: exp(U(ln lo, ln hi)) rounded.
+  /// The standard way to draw task periods spanning several orders of
+  /// magnitude (Emberson et al., WATERS 2010).
+  Time log_uniform_time(Time lo, Time hi) noexcept {
+    const double v = std::exp(uniform(std::log(static_cast<double>(lo)),
+                                      std::log(static_cast<double>(hi))));
+    auto t = static_cast<Time>(std::llround(v));
+    if (t < lo) t = lo;
+    if (t > hi) t = hi;
+    return t;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace rmts

@@ -1,0 +1,36 @@
+// Minimal fixed-width table / CSV emitter used by benches and examples to
+// print the rows each reproduced table or figure consists of.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmts {
+
+/// Accumulates rows of stringified cells and renders them either as an
+/// aligned text table (for terminals) or CSV (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with padded columns, a header rule, and `title` above.
+  void print_text(std::ostream& os, const std::string& title) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Formats a double with `digits` decimals (locale-independent).
+  static std::string num(double value, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rmts

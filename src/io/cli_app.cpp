@@ -1,0 +1,167 @@
+#include "io/cli_app.hpp"
+
+#include <memory>
+#include <ostream>
+
+#include "bounds/burchard.hpp"
+#include "bounds/harmonic.hpp"
+#include "bounds/ll_bound.hpp"
+#include "bounds/scaled_periods.hpp"
+#include "common/error.hpp"
+#include "io/taskset_io.hpp"
+#include "partition/baselines.hpp"
+#include "partition/edf_split.hpp"
+#include "partition/rmts.hpp"
+#include "partition/rmts_light.hpp"
+#include "partition/spa.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace rmts {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: rmts_cli <taskset-file> -m <processors>\n"
+    "                [-a rmts|rmts-light|spa1|spa2|prm-ff|edf-ts]\n"
+    "                [-b ll|hc|tbound|rbound|burchard]\n"
+    "                [--simulate] [--bounds] [--gantt]\n";
+
+BoundPtr make_bound(const std::string& name) {
+  if (name == "ll") return std::make_shared<LiuLaylandBound>();
+  if (name == "hc") return std::make_shared<HarmonicChainBound>();
+  if (name == "tbound") return std::make_shared<TBound>();
+  if (name == "rbound") return std::make_shared<RBound>();
+  if (name == "burchard") return std::make_shared<BurchardBound>();
+  throw InvalidConfigError("unknown bound: " + name);
+}
+
+std::shared_ptr<const Partitioner> make_algorithm(const std::string& name,
+                                                  const BoundPtr& bound) {
+  if (name == "rmts") return std::make_shared<Rmts>(bound);
+  if (name == "rmts-light") return std::make_shared<RmtsLight>();
+  if (name == "spa1") return std::make_shared<Spa1>();
+  if (name == "spa2") return std::make_shared<Spa2>();
+  if (name == "prm-ff") {
+    return std::make_shared<PartitionedRm>(FitPolicy::kFirstFit,
+                                           TaskOrder::kDecreasingUtilization,
+                                           Admission::kExactRta);
+  }
+  if (name == "edf-ts") return std::make_shared<EdfSplit>();
+  throw InvalidConfigError("unknown algorithm: " + name);
+}
+
+struct Options {
+  std::string taskset_path;
+  std::size_t processors = 0;
+  std::string algorithm = "rmts";
+  std::string bound = "hc";
+  bool simulate = false;
+  bool print_bounds = false;
+  bool gantt = false;
+};
+
+Options parse(const std::vector<std::string>& args) {
+  Options options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const char* what) -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw InvalidConfigError(std::string("missing value for ") + what);
+      }
+      return args[++i];
+    };
+    if (arg == "-m" || arg == "--processors") {
+      options.processors = static_cast<std::size_t>(std::stoul(next("-m")));
+    } else if (arg == "-a" || arg == "--algorithm") {
+      options.algorithm = next("-a");
+    } else if (arg == "-b" || arg == "--bound") {
+      options.bound = next("-b");
+    } else if (arg == "--simulate") {
+      options.simulate = true;
+    } else if (arg == "--gantt") {
+      options.simulate = true;  // a chart needs a run
+      options.gantt = true;
+    } else if (arg == "--bounds") {
+      options.print_bounds = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      throw InvalidConfigError("unknown option: " + arg);
+    } else if (options.taskset_path.empty()) {
+      options.taskset_path = arg;
+    } else {
+      throw InvalidConfigError("unexpected argument: " + arg);
+    }
+  }
+  if (options.taskset_path.empty()) {
+    throw InvalidConfigError("no task set file given");
+  }
+  if (options.processors == 0) {
+    throw InvalidConfigError("need -m <processors> (>= 1)");
+  }
+  return options;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  Options options;
+  TaskSet tasks;
+  try {
+    options = parse(args);
+    tasks = load_task_set(options.taskset_path);
+  } catch (const Error& error) {
+    err << "rmts_cli: " << error.what() << '\n' << kUsage;
+    return 2;
+  }
+
+  out << "task set: N = " << tasks.size() << ", U = " << tasks.total_utilization()
+      << ", U_M = " << tasks.normalized_utilization(options.processors)
+      << " on M = " << options.processors << '\n';
+
+  if (options.print_bounds) {
+    const std::vector<BoundPtr> all{make_bound("ll"), make_bound("hc"),
+                                    make_bound("tbound"), make_bound("rbound"),
+                                    make_bound("burchard")};
+    out << "parametric bounds (evaluated on the original set):\n";
+    for (const BoundPtr& bound : all) {
+      out << "  " << bound->name() << " = " << bound->evaluate(tasks) << '\n';
+    }
+    out << "  light threshold = " << light_task_threshold(tasks.size())
+        << ", RM-TS cap = " << rmts_bound_cap(tasks.size()) << '\n';
+  }
+
+  std::shared_ptr<const Partitioner> algorithm;
+  try {
+    algorithm = make_algorithm(options.algorithm, make_bound(options.bound));
+  } catch (const Error& error) {
+    err << "rmts_cli: " << error.what() << '\n' << kUsage;
+    return 2;
+  }
+
+  const Assignment assignment = algorithm->partition(tasks, options.processors);
+  out << algorithm->name() << ":\n" << assignment.describe();
+  if (!assignment.success) return 1;
+
+  if (options.simulate) {
+    SimConfig sim;
+    sim.horizon = recommended_horizon(tasks, 100'000'000);
+    sim.policy = options.algorithm == "edf-ts"
+                     ? DispatchPolicy::kEarliestDeadlineFirst
+                     : DispatchPolicy::kFixedPriority;
+    sim.record_trace = options.gantt;
+    const SimResult run = simulate(tasks, assignment, sim);
+    if (options.gantt) {
+      out << render_gantt(run.trace, assignment.processors.size(),
+                          run.simulated_until, 100);
+    }
+    out << "simulation over " << run.simulated_until << " ticks: "
+        << (run.schedulable ? "no deadline misses" : "DEADLINE MISS") << " ("
+        << run.jobs_completed << " jobs, " << run.migrations
+        << " migrations, " << run.preemptions << " preemptions)\n";
+    if (!run.schedulable) return 1;
+  }
+  return 0;
+}
+
+}  // namespace rmts

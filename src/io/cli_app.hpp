@@ -1,0 +1,27 @@
+// The rmts command-line front end, packaged as a library function so tests
+// can drive it directly (tools/rmts_cli.cpp is a thin main()).
+//
+// Usage:
+//   rmts_cli <taskset-file> -m <processors>
+//            [-a rmts|rmts-light|spa1|spa2|prm-ff|edf-ts]
+//            [-b ll|hc|tbound|rbound|burchard]
+//            [--simulate] [--bounds]
+//
+//  * default algorithm: rmts; default bound (for rmts): hc
+//  * --bounds prints every implemented parametric bound for the set
+//  * --simulate validates an accepted partition for two hyperperiods
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmts {
+
+/// Runs the CLI.  Returns the process exit code: 0 on success (including
+/// "schedulable"), 1 for "not schedulable" outcomes, 2 for usage or input
+/// errors (message on `err`).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace rmts

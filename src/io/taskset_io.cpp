@@ -1,0 +1,49 @@
+#include "io/taskset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rmts {
+
+TaskSet read_task_set(std::istream& input) {
+  std::vector<std::pair<Time, Time>> pairs;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream fields(line);
+    Time wcet = 0;
+    Time period = 0;
+    std::string trailing;
+    if (!(fields >> wcet >> period) || (fields >> trailing)) {
+      throw InvalidTaskError("task set line " + std::to_string(line_number) +
+                             ": expected '<wcet> <period>'");
+    }
+    pairs.emplace_back(wcet, period);
+  }
+  return TaskSet::from_pairs(pairs);
+}
+
+TaskSet load_task_set(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw InvalidConfigError("cannot open task set file: " + path);
+  }
+  return read_task_set(file);
+}
+
+void write_task_set(std::ostream& output, const TaskSet& tasks) {
+  output << "# " << tasks.size() << " tasks, U = " << tasks.total_utilization()
+         << "\n# wcet period (ticks)\n";
+  for (const Task& task : tasks) {
+    output << task.wcet << ' ' << task.period << '\n';
+  }
+}
+
+}  // namespace rmts

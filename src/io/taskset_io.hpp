@@ -1,0 +1,32 @@
+// Plain-text task-set persistence for tooling interchange.
+//
+// Format: one task per line, "<wcet> <period>" in ticks; blank lines and
+// '#' comments are ignored.  Task ids are assigned in file order (so RM
+// ties resolve by file position), matching TaskSet::from_pairs.
+//
+//   # flight control workload (ticks = microseconds)
+//   875 2500
+//   750 2500
+//   1500 5000
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tasks/task_set.hpp"
+
+namespace rmts {
+
+/// Parses the text format from a stream.  Throws InvalidTaskError on
+/// malformed lines (with the line number) or invalid task parameters.
+[[nodiscard]] TaskSet read_task_set(std::istream& input);
+
+/// Loads a task set from a file path; throws InvalidConfigError if the
+/// file cannot be opened.
+[[nodiscard]] TaskSet load_task_set(const std::string& path);
+
+/// Writes the text format (one "<wcet> <period>" line per task, RM order,
+/// with a utilization comment header).
+void write_task_set(std::ostream& output, const TaskSet& tasks);
+
+}  // namespace rmts

@@ -1,0 +1,78 @@
+// Baseline schedulability tests the paper positions itself against
+// (Section I / related work):
+//  * strict partitioned RM (no splitting) with classic bin-packing
+//    heuristics and a choice of uniprocessor admission tests -- subject to
+//    the bin-packing 50% worst case;
+//  * strict partitioned EDF (first-fit, exact U <= 1 admission per
+//    processor for implicit deadlines);
+//  * global fixed-priority RM-US[m/(3m-2)] (Andersson-Baruah-Jonsson) and
+//    global EDF (Goossens-Funk-Baruah) utilization tests -- the "38% / 50%"
+//    global bounds cited in the paper's introduction.
+#pragma once
+
+#include "partition/assignment.hpp"
+
+namespace rmts {
+
+/// Bin-packing heuristic for strict partitioning.
+enum class FitPolicy : std::uint8_t { kFirstFit, kBestFit, kWorstFit };
+
+/// Order in which tasks are offered to the bin packer.
+enum class TaskOrder : std::uint8_t {
+  kDecreasingUtilization,  ///< classic FFD/BFD/WFD
+  kRateMonotonic,          ///< shortest period first
+};
+
+/// Uniprocessor admission test used per processor.
+enum class Admission : std::uint8_t {
+  kExactRta,    ///< response-time analysis (exact)
+  kLiuLayland,  ///< U(P) + U_i <= Theta(n_P + 1)
+  kHyperbolic,  ///< Bini-Buttazzo: prod (U_j + 1) <= 2
+};
+
+/// Strict partitioned RM: every task is assigned whole to one processor
+/// (no splitting).  Acceptance collapses once any single task fails to fit
+/// anywhere -- the bin-packing limitation semi-partitioning removes.
+class PartitionedRm final : public Partitioner {
+ public:
+  PartitionedRm(FitPolicy fit, TaskOrder order, Admission admission);
+
+  [[nodiscard]] Assignment partition(const TaskSet& tasks,
+                                     std::size_t processors) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  FitPolicy fit_;
+  TaskOrder order_;
+  Admission admission_;
+  std::string name_;
+};
+
+/// Strict partitioned EDF, first-fit decreasing utilization; admission is
+/// the exact implicit-deadline uniprocessor EDF test U(P) <= 1.
+class PartitionedEdf final : public Partitioner {
+ public:
+  [[nodiscard]] Assignment partition(const TaskSet& tasks,
+                                     std::size_t processors) const override;
+  [[nodiscard]] std::string name() const override { return "P-EDF-FFD"; }
+};
+
+/// Global RM-US[m/(3m-2)]: accepts iff U(tau) <= M^2 / (3M - 2)
+/// (each task's utilization must also not exceed the priority-promotion
+/// threshold's implied cap of 1).  Worst case tends to ~33%; the best
+/// known global FP bound cited by the paper is 38%.
+class GlobalRmUs final : public SchedulabilityTest {
+ public:
+  [[nodiscard]] bool accepts(const TaskSet& tasks, std::size_t processors) const override;
+  [[nodiscard]] std::string name() const override { return "G-RM-US"; }
+};
+
+/// Global EDF utilization test (Goossens-Funk-Baruah):
+/// U(tau) <= M - (M - 1) * max_i U_i.
+class GlobalEdfGfb final : public SchedulabilityTest {
+ public:
+  [[nodiscard]] bool accepts(const TaskSet& tasks, std::size_t processors) const override;
+  [[nodiscard]] std::string name() const override { return "G-EDF"; }
+};
+
+}  // namespace rmts

@@ -1,0 +1,131 @@
+#include "partition/edf_split.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "rta/edf_demand.hpp"
+
+namespace rmts {
+
+namespace {
+
+/// Keep a strict utilization margin on every processor: edf_schedulable
+/// reports constrained-deadline sets at (numerically) full utilization as
+/// unschedulable, so the partitioner never drives a processor there.
+constexpr double kUtilizationCap = 1.0 - 1e-6;
+
+struct EdfProcessor {
+  std::vector<Subtask> subtasks;
+  double utilization = 0.0;
+
+  [[nodiscard]] bool fits(const Subtask& candidate) const {
+    if (utilization + candidate.utilization() > kUtilizationCap) return false;
+    std::vector<Subtask> merged = subtasks;
+    merged.push_back(candidate);
+    return edf_schedulable(merged);
+  }
+
+  void add(const Subtask& candidate) {
+    subtasks.push_back(candidate);
+    utilization += candidate.utilization();
+  }
+
+  /// Largest wcet in [0, upper] for a piece with the given window length
+  /// (relative deadline) that keeps the processor EDF-schedulable.
+  [[nodiscard]] Time max_piece(Time upper, Time period, Time window,
+                               std::size_t priority, TaskId id) const {
+    Time lo = 0;
+    Time hi = std::min(upper, window);
+    while (lo < hi) {
+      const Time mid = lo + (hi - lo + 1) / 2;
+      const Subtask candidate{priority, id,     0,     mid,
+                              period,   window, SubtaskKind::kBody};
+      if (fits(candidate)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  }
+};
+
+}  // namespace
+
+Assignment EdfSplit::partition(const TaskSet& tasks, std::size_t m) const {
+  std::vector<EdfProcessor> processors(m);
+  std::vector<TaskId> unassigned;
+
+  // Decreasing utilization, first-fit (FFD).
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].utilization() > tasks[b].utilization();
+  });
+
+  for (const std::size_t rank : order) {
+    const Task& task = tasks[rank];
+    const Subtask whole = whole_subtask(task, rank);
+    bool placed = false;
+    for (EdfProcessor& processor : processors) {
+      if (processor.fits(whole)) {
+        processor.add(whole);
+        placed = true;
+        break;
+      }
+    }
+    if (placed) continue;
+
+    // Split pass: one piece per processor; window halving, last processor
+    // takes the whole remaining window.  Pieces are staged and committed
+    // only if the task fits completely -- a partial split would strand
+    // capacity without scheduling the task.
+    Time remaining = task.wcet;
+    Time window_left = task.period;
+    std::vector<std::pair<std::size_t, Subtask>> staged;
+    int part = 0;
+    for (std::size_t q = 0; q < m && remaining > 0 && window_left > 0; ++q) {
+      const bool last = (q + 1 == m);
+      const Time window = last ? window_left : std::max<Time>(window_left / 2, 1);
+      const Time piece =
+          processors[q].max_piece(remaining, task.period, window, rank, task.id);
+      if (piece == 0) continue;
+      Subtask subtask{rank,        task.id, part++, piece,
+                      task.period, window,  SubtaskKind::kBody};
+      staged.emplace_back(q, subtask);
+      remaining -= piece;
+      window_left -= window;
+    }
+    if (remaining == 0 && !staged.empty()) {
+      staged.back().second.kind =
+          staged.size() == 1 ? SubtaskKind::kWhole : SubtaskKind::kTail;
+      for (std::size_t i = 0; i + 1 < staged.size(); ++i) {
+        staged[i].second.kind = SubtaskKind::kBody;
+      }
+      for (const auto& [q, subtask] : staged) processors[q].add(subtask);
+    } else {
+      unassigned.push_back(task.id);
+    }
+  }
+
+  Assignment result;
+  result.success = unassigned.empty();
+  result.unassigned = std::move(unassigned);
+  result.processors.reserve(m);
+  for (EdfProcessor& processor : processors) {
+    // Deterministic presentation order (EDF ignores priorities at run
+    // time, but tooling sorts by rank like everywhere else).
+    std::sort(processor.subtasks.begin(), processor.subtasks.end(),
+              [](const Subtask& a, const Subtask& b) {
+                if (a.priority != b.priority) return a.priority < b.priority;
+                return a.part < b.part;
+              });
+    ProcessorAssignment assignment;
+    assignment.subtasks = std::move(processor.subtasks);
+    result.processors.push_back(std::move(assignment));
+  }
+  return result;
+}
+
+}  // namespace rmts

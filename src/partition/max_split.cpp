@@ -1,0 +1,98 @@
+#include "partition/max_split.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "rta/rta.hpp"
+
+namespace rmts {
+
+namespace {
+
+Time max_wcet_binary(const ProcessorState& processor, const Subtask& prototype) {
+  // fits() is monotone in the candidate's wcet, so binary search for the
+  // largest feasible value.  c = 0 ("assign nothing") is feasible by the
+  // caller's invariant that the processor is schedulable as-is.
+  Time lo = 0;               // highest known-feasible value
+  Time hi = prototype.wcet;  // upper bound; may itself be feasible
+  Subtask candidate = prototype;
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo + 1) / 2;  // round up so lo advances
+    candidate.wcet = mid;
+    if (processor.fits(candidate)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+/// Largest own execution budget of the candidate: max over its testing set
+/// of (t - higher-priority interference).
+Time max_self_budget(std::span<const Subtask> higher, Time deadline) {
+  Time best = 0;
+  for (const Time t : scheduling_points(deadline, higher)) {
+    best = std::max(best, t - interference_at(t, higher));
+  }
+  return std::max<Time>(best, 0);
+}
+
+/// Largest candidate wcet that keeps the hosted subtask (wcet, deadline,
+/// interfered by `hosted_higher`) schedulable when the candidate interferes
+/// with period `candidate_period`:
+///   max over testing points t of floor((t - W(t)) / ceil(t / T_c)),
+/// where W(t) is the demand without the candidate.  The testing set must
+/// include the candidate's own arrival multiples, since the optimum of the
+/// piecewise expression can sit there.
+Time max_extra_interference(Time wcet, Time deadline,
+                            std::span<const Subtask> hosted_higher,
+                            Time candidate_period) {
+  // Build the testing set: multiples of every hosted higher-priority period
+  // and of the candidate's period in (0, deadline], plus the deadline.
+  std::vector<Time> points = scheduling_points(deadline, hosted_higher);
+  for (Time t = candidate_period; t < deadline; t += candidate_period) {
+    points.push_back(t);
+  }
+  Time best = 0;
+  for (const Time t : points) {
+    const Time slack = t - wcet - interference_at(t, hosted_higher);
+    if (slack <= 0) continue;
+    const Time jobs = ceil_div(t, candidate_period);
+    best = std::max(best, slack / jobs);
+  }
+  return best;
+}
+
+Time max_wcet_points(const ProcessorState& processor, const Subtask& prototype) {
+  const std::span<const Subtask> hosted = processor.subtasks();
+  const auto pos_it = std::lower_bound(
+      hosted.begin(), hosted.end(), prototype,
+      [](const Subtask& a, const Subtask& b) { return a.priority < b.priority; });
+  const auto pos = static_cast<std::size_t>(pos_it - hosted.begin());
+
+  Time budget = max_self_budget(hosted.first(pos), prototype.deadline);
+  for (std::size_t i = pos; i < hosted.size() && budget > 0; ++i) {
+    budget = std::min(budget, max_extra_interference(hosted[i].wcet,
+                                                     hosted[i].deadline,
+                                                     hosted.first(i),
+                                                     prototype.period));
+  }
+  return std::min(budget, prototype.wcet);
+}
+
+}  // namespace
+
+Time max_admissible_wcet(const ProcessorState& processor,
+                         const Subtask& prototype, MaxSplitMethod method) {
+  if (prototype.deadline <= 0 || prototype.wcet <= 0) return 0;
+  switch (method) {
+    case MaxSplitMethod::kBinarySearch:
+      return max_wcet_binary(processor, prototype);
+    case MaxSplitMethod::kSchedulingPoints:
+      return max_wcet_points(processor, prototype);
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace rmts

@@ -1,0 +1,37 @@
+// MaxSplit (paper Definition 3): the largest prefix of a (sub)task that a
+// processor can still accommodate without any hosted (sub)task missing its
+// synthetic deadline.  After assigning that prefix the processor has a
+// *bottleneck* (Definition 2): one more tick of top-priority execution time
+// would make some hosted subtask unschedulable.  This is the splitting
+// primitive of RM-TS and RM-TS/light.
+//
+// Two exact implementations are provided:
+//  * kBinarySearch -- O(log C) full admission checks; the reference
+//    implementation (paper Section IV-A suggests it directly).
+//  * kSchedulingPoints -- the efficient method of [22]: for every hosted
+//    lower-priority subtask, maximize the admissible extra interference
+//    over its time-demand testing set in closed form; still
+//    pseudo-polynomial but much faster (measured in bench_e8_runtime).
+// Both compute the same value on every input (property-tested).
+#pragma once
+
+#include "partition/processor_state.hpp"
+#include "tasks/subtask.hpp"
+
+namespace rmts {
+
+enum class MaxSplitMethod : std::uint8_t {
+  kBinarySearch,
+  kSchedulingPoints,
+};
+
+/// Maximum wcet c* in [0, prototype.wcet] such that `processor` with
+/// {prototype, wcet = c*} added stays fully schedulable under exact RTA.
+/// All prototype fields except wcet (priority, period, synthetic deadline)
+/// are taken as given.  Requires the processor to be schedulable as-is;
+/// returns 0 when nothing fits.
+[[nodiscard]] Time max_admissible_wcet(const ProcessorState& processor,
+                                       const Subtask& prototype,
+                                       MaxSplitMethod method);
+
+}  // namespace rmts

@@ -1,0 +1,62 @@
+#include "partition/optimal_strict.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "partition/policies.hpp"
+#include "partition/processor_state.hpp"
+
+namespace rmts {
+
+namespace {
+
+struct Search {
+  const TaskSet& tasks;
+  std::vector<std::size_t> order;  // ranks, decreasing utilization
+  std::vector<ProcessorState> processors;
+
+  bool place(std::size_t depth) {
+    if (depth == order.size()) return true;
+    const std::size_t rank = order[depth];
+    const Subtask candidate = whole_subtask(tasks[rank], rank);
+    bool tried_empty = false;
+    for (ProcessorState& processor : processors) {
+      // Symmetry break: empty processors are interchangeable; try one.
+      if (processor.empty()) {
+        if (tried_empty) continue;
+        tried_empty = true;
+      }
+      if (!processor.fits(candidate)) continue;
+      // ProcessorState has no removal; branch on a copy.
+      const ProcessorState saved = processor;
+      processor.add(candidate);
+      if (place(depth + 1)) return true;
+      processor = saved;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+Assignment OptimalStrictRm::partition(const TaskSet& tasks, std::size_t m) const {
+  Search search{tasks, {}, std::vector<ProcessorState>(m)};
+  search.order.resize(tasks.size());
+  std::iota(search.order.begin(), search.order.end(), 0);
+  // Decreasing utilization: heavy tasks first fail fast, pruning hard.
+  std::stable_sort(search.order.begin(), search.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks[a].utilization() > tasks[b].utilization();
+                   });
+
+  if (search.place(0)) {
+    return finalize_assignment(search.processors, {});
+  }
+  // No feasible strict partition exists (for this exact admission test).
+  std::vector<TaskId> unassigned;
+  for (const Task& task : tasks) unassigned.push_back(task.id);
+  return finalize_assignment(std::vector<ProcessorState>(m), std::move(unassigned));
+}
+
+}  // namespace rmts

@@ -1,0 +1,27 @@
+// Exhaustive OPTIMAL strict partitioning (no splitting) with exact-RTA
+// admission -- the ground-truth reference for small instances.
+//
+// Two questions it answers exactly (experiment E15):
+//  * how close the first-fit-decreasing heuristic gets to the best any
+//    bin-packer could do, and
+//  * how much capacity task *splitting* wins on top of even the optimal
+//    strict partition -- the actual argument for semi-partitioned
+//    scheduling, stronger than comparing against heuristics.
+//
+// Branch-and-bound over assignments in decreasing-utilization order with
+// empty-processor symmetry breaking; exponential in the worst case, meant
+// for N <= ~14.
+#pragma once
+
+#include "partition/assignment.hpp"
+
+namespace rmts {
+
+class OptimalStrictRm final : public Partitioner {
+ public:
+  [[nodiscard]] Assignment partition(const TaskSet& tasks,
+                                     std::size_t processors) const override;
+  [[nodiscard]] std::string name() const override { return "OPT-strict"; }
+};
+
+}  // namespace rmts

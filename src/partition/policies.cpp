@@ -1,0 +1,41 @@
+#include "partition/policies.hpp"
+
+#include <numeric>
+
+namespace rmts {
+
+std::optional<std::size_t> least_utilized_non_full(
+    const std::vector<ProcessorState>& processors,
+    const std::vector<std::size_t>& candidates) {
+  std::optional<std::size_t> best;
+  for (const std::size_t q : candidates) {
+    if (processors[q].full()) continue;
+    if (!best || processors[q].utilization() < processors[*best].utilization()) {
+      best = q;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> least_utilized_non_full(
+    const std::vector<ProcessorState>& processors) {
+  std::vector<std::size_t> all(processors.size());
+  std::iota(all.begin(), all.end(), 0);
+  return least_utilized_non_full(processors, all);
+}
+
+Assignment finalize_assignment(const std::vector<ProcessorState>& processors,
+                               std::vector<TaskId> unassigned) {
+  Assignment result;
+  result.success = unassigned.empty();
+  result.unassigned = std::move(unassigned);
+  result.processors.reserve(processors.size());
+  for (const ProcessorState& state : processors) {
+    ProcessorAssignment proc;
+    proc.subtasks.assign(state.subtasks().begin(), state.subtasks().end());
+    result.processors.push_back(std::move(proc));
+  }
+  return result;
+}
+
+}  // namespace rmts

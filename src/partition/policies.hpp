@@ -1,0 +1,30 @@
+// Small shared helpers for partitioning algorithms: processor-selection
+// policies and conversion of working state into the public Assignment.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "partition/assignment.hpp"
+#include "partition/processor_state.hpp"
+
+namespace rmts {
+
+/// Worst-fit choice among a candidate index set: the non-full processor
+/// with minimal assigned utilization, ties broken towards the smallest
+/// index.  Pass the full index range for RM-TS/light; RM-TS passes only
+/// the normal processors.
+[[nodiscard]] std::optional<std::size_t> least_utilized_non_full(
+    const std::vector<ProcessorState>& processors,
+    const std::vector<std::size_t>& candidates);
+
+/// Convenience overload over all processors.
+[[nodiscard]] std::optional<std::size_t> least_utilized_non_full(
+    const std::vector<ProcessorState>& processors);
+
+/// Copies working processor states into the immutable result.
+[[nodiscard]] Assignment finalize_assignment(
+    const std::vector<ProcessorState>& processors,
+    std::vector<TaskId> unassigned);
+
+}  // namespace rmts

@@ -1,0 +1,63 @@
+#include "partition/processor_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rmts {
+
+namespace {
+
+/// Position of the first hosted subtask with a lower priority than
+/// `candidate` (priority ranks are unique per processor: subtasks of one
+/// task are never co-located).
+std::size_t insert_position(std::span<const Subtask> subtasks,
+                            const Subtask& candidate) {
+  const auto it = std::lower_bound(
+      subtasks.begin(), subtasks.end(), candidate,
+      [](const Subtask& a, const Subtask& b) { return a.priority < b.priority; });
+  return static_cast<std::size_t>(it - subtasks.begin());
+}
+
+}  // namespace
+
+void ProcessorState::add(const Subtask& subtask) {
+  const std::size_t pos = insert_position(subtasks_, subtask);
+  subtasks_.insert(subtasks_.begin() + static_cast<std::ptrdiff_t>(pos), subtask);
+  utilization_ += subtask.utilization();
+}
+
+bool ProcessorState::fits(const Subtask& candidate) const {
+  const std::size_t pos = insert_position(subtasks_, candidate);
+
+  // The candidate itself, interfered by the higher-priority prefix.
+  const auto hp = std::span<const Subtask>(subtasks_).first(pos);
+  if (!response_time(candidate.wcet, candidate.deadline, hp).schedulable) {
+    return false;
+  }
+
+  // Every lower-priority subtask now additionally sees the candidate.
+  std::vector<Subtask> interferers(subtasks_.begin(),
+                                   subtasks_.begin() + static_cast<std::ptrdiff_t>(pos));
+  interferers.push_back(candidate);
+  for (std::size_t i = pos; i < subtasks_.size(); ++i) {
+    if (!response_time(subtasks_[i].wcet, subtasks_[i].deadline, interferers)
+             .schedulable) {
+      return false;
+    }
+    interferers.push_back(subtasks_[i]);
+  }
+  return true;
+}
+
+Time ProcessorState::response_time_of(std::size_t index) const {
+  assert(index < subtasks_.size());
+  const auto hp = std::span<const Subtask>(subtasks_).first(index);
+  const RtaOutcome outcome =
+      response_time(subtasks_[index].wcet, subtasks_[index].deadline, hp);
+  // Callers only query subtasks that were admitted via fits(); the fixed
+  // point therefore exists below the deadline.
+  assert(outcome.schedulable);
+  return outcome.response;
+}
+
+}  // namespace rmts

@@ -1,0 +1,46 @@
+// Mutable per-processor state during partitioning.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rta/rta.hpp"
+#include "tasks/subtask.hpp"
+
+namespace rmts {
+
+/// One processor being filled by a partitioning algorithm.  Keeps its
+/// subtasks sorted by priority rank and caches the assigned utilization.
+class ProcessorState {
+ public:
+  /// Hosted subtasks, highest priority first.
+  [[nodiscard]] std::span<const Subtask> subtasks() const noexcept { return subtasks_; }
+
+  [[nodiscard]] double utilization() const noexcept { return utilization_; }
+  [[nodiscard]] bool full() const noexcept { return full_; }
+  void mark_full() noexcept { full_ = true; }
+
+  [[nodiscard]] bool empty() const noexcept { return subtasks_.empty(); }
+
+  /// Inserts `subtask` at its priority position.  Caller is responsible for
+  /// having verified schedulability (see fits()).
+  void add(const Subtask& subtask);
+
+  /// Exact-RTA admission: true iff all current subtasks plus `candidate`
+  /// meet their (synthetic) deadlines.  Only the candidate and the
+  /// lower-priority subtasks are re-analyzed; higher-priority response
+  /// times cannot change.
+  [[nodiscard]] bool fits(const Subtask& candidate) const;
+
+  /// Worst-case response time of the hosted subtask at `index` (position in
+  /// subtasks()).  Used to fix the synthetic deadline of a split remainder
+  /// (paper Eq. 1) from the *actual* response time of the placed body.
+  [[nodiscard]] Time response_time_of(std::size_t index) const;
+
+ private:
+  std::vector<Subtask> subtasks_;
+  double utilization_{0.0};
+  bool full_{false};
+};
+
+}  // namespace rmts

@@ -1,0 +1,32 @@
+// Exact EDF schedulability on one processor via processor-demand analysis.
+//
+// Substrate for the semi-partitioned EDF baseline (the "65%" EDF-based
+// related work the paper cites in Section I): a set of sporadic subtasks
+// with constrained deadlines (D <= T) is EDF-schedulable iff the demand
+// bound function h(t) = sum_i max(0, floor((t - D_i)/T_i) + 1) * C_i stays
+// <= t for all t in (0, L].  We implement the exact test with the QPA
+// iteration (Zhang & Burns, 2009), which walks backwards from the busy-
+// period bound touching only a handful of points.
+#pragma once
+
+#include <span>
+
+#include "common/time.hpp"
+#include "tasks/subtask.hpp"
+
+namespace rmts {
+
+/// Demand bound function of one sporadic task (C, T, D) at time t:
+/// the maximum execution demand of jobs with both release and deadline
+/// inside any window of length t.
+[[nodiscard]] Time dbf(Time wcet, Time period, Time deadline, Time t) noexcept;
+
+/// Total demand h(t) of a set of subtasks (wcet/period/deadline are read).
+[[nodiscard]] Time total_demand(std::span<const Subtask> subtasks, Time t);
+
+/// Exact EDF schedulability of `subtasks` on one processor (preemptive
+/// EDF, constrained deadlines D <= T required -- checked).  Subtask
+/// priority fields are ignored: EDF dispatches by absolute deadline.
+[[nodiscard]] bool edf_schedulable(std::span<const Subtask> subtasks);
+
+}  // namespace rmts

@@ -1,0 +1,83 @@
+#include "rta/rta.hpp"
+
+#include <algorithm>
+
+namespace rmts {
+
+RtaOutcome response_time(Time wcet, Time deadline,
+                         std::span<const Subtask> interferers) {
+  if (wcet > deadline) return RtaOutcome{false, wcet, 0};
+
+  // Seed with the one-job demand of everyone; this is a valid lower bound
+  // on the response time and typically saves several iterations.
+  Time r = wcet;
+  for (const Subtask& j : interferers) r += j.wcet;
+
+  int iterations = 0;
+  while (true) {
+    ++iterations;
+    if (r > deadline) return RtaOutcome{false, r, iterations};
+    Time next = wcet;
+    for (const Subtask& j : interferers) {
+      next += ceil_div(r, j.period) * j.wcet;
+    }
+    if (next == r) return RtaOutcome{true, r, iterations};
+    r = next;  // iterates are strictly increasing until the fixed point
+  }
+}
+
+ProcessorRta analyze_processor(std::span<const Subtask> subtasks) {
+  ProcessorRta result;
+  result.response.assign(subtasks.size(), 0);
+  result.first_miss = subtasks.size();
+  for (std::size_t i = 0; i < subtasks.size(); ++i) {
+    const auto hp = subtasks.first(i);
+    const RtaOutcome outcome =
+        response_time(subtasks[i].wcet, subtasks[i].deadline, hp);
+    if (!outcome.schedulable) {
+      result.schedulable = false;
+      result.first_miss = i;
+      return result;
+    }
+    result.response[i] = outcome.response;
+  }
+  result.schedulable = true;
+  return result;
+}
+
+bool processor_schedulable(std::span<const Subtask> subtasks) {
+  return analyze_processor(subtasks).schedulable;
+}
+
+bool rm_schedulable_uniprocessor(const TaskSet& tasks) {
+  std::vector<Subtask> subtasks;
+  subtasks.reserve(tasks.size());
+  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+    subtasks.push_back(whole_subtask(tasks[rank], rank));
+  }
+  return processor_schedulable(subtasks);
+}
+
+std::vector<Time> scheduling_points(Time deadline,
+                                    std::span<const Subtask> interferers) {
+  std::vector<Time> points;
+  points.push_back(deadline);
+  for (const Subtask& j : interferers) {
+    for (Time t = j.period; t < deadline; t += j.period) {
+      points.push_back(t);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+Time interference_at(Time t, std::span<const Subtask> interferers) {
+  Time demand = 0;
+  for (const Subtask& j : interferers) {
+    demand += ceil_div(t, j.period) * j.wcet;
+  }
+  return demand;
+}
+
+}  // namespace rmts

@@ -1,0 +1,80 @@
+// Exact response-time analysis (RTA) for constrained-deadline, preemptive
+// fixed-priority scheduling on one processor.
+//
+// This is the admission test that distinguishes RM-TS from its
+// threshold-based predecessor SPA1/SPA2 [16]: a (sub)task fits on a
+// processor iff after adding it every (sub)task's worst-case response time
+// is at most its (synthetic) deadline.
+//
+// Subtasks of the same task are never co-located, so the interfering set of
+// a subtask is exactly the co-located subtasks with smaller parent RM rank,
+// each behaving as an independent sporadic interferer (C_j, T_j).  Synthetic
+// deadlines already account for cross-processor synchronization (paper
+// Section II), which is why plain uniprocessor RTA is sound here (Lemma 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/time.hpp"
+#include "tasks/subtask.hpp"
+#include "tasks/task_set.hpp"
+
+namespace rmts {
+
+/// Result of one response-time computation.
+struct RtaOutcome {
+  bool schedulable{false};
+  /// The fixed point R if schedulable; otherwise the first iterate that
+  /// exceeded the deadline (a certified lower bound on the true response
+  /// time, useful for diagnostics).
+  Time response{0};
+  /// Number of fixed-point iterations performed.
+  int iterations{0};
+};
+
+/// Worst-case response time of a job with execution time `wcet` and
+/// deadline `deadline`, interfered by the sporadic `interferers`
+/// (only their wcet/period fields are read).  Standard fixed-point
+/// iteration: R <- wcet + sum_j ceil(R / T_j) * C_j, seeded with the total
+/// one-job demand; aborts as unschedulable as soon as an iterate exceeds
+/// `deadline` (the iterates are non-decreasing).
+[[nodiscard]] RtaOutcome response_time(Time wcet, Time deadline,
+                                       std::span<const Subtask> interferers);
+
+/// Full-processor analysis result.
+struct ProcessorRta {
+  bool schedulable{false};
+  /// Response time per subtask, parallel to the input span.  Entries after
+  /// the first unschedulable subtask are 0 (analysis short-circuits).
+  std::vector<Time> response;
+  /// Index of the first subtask that misses its deadline, or input size.
+  std::size_t first_miss{0};
+};
+
+/// Analyzes every subtask on a processor.  `subtasks` must be sorted by
+/// strictly increasing `priority` rank (0 = highest first); each entry is
+/// checked against its own synthetic deadline.
+[[nodiscard]] ProcessorRta analyze_processor(std::span<const Subtask> subtasks);
+
+/// True iff every subtask meets its deadline; convenience over
+/// analyze_processor.
+[[nodiscard]] bool processor_schedulable(std::span<const Subtask> subtasks);
+
+/// Uniprocessor RMS exact schedulability of a whole task set (every task as
+/// an unsplit subtask on one processor).  Used by baselines, by
+/// deflatability property tests, and by uniprocessor breakdown search.
+[[nodiscard]] bool rm_schedulable_uniprocessor(const TaskSet& tasks);
+
+/// Time-demand analysis (Lehoczky/Sha/Ding) testing-set formulation:
+/// the scheduling points for a subtask with deadline `deadline` under the
+/// given higher-priority interferers -- all multiples m*T_j in (0, deadline]
+/// plus `deadline` itself, deduplicated and sorted.  Exposed for the
+/// scheduling-point MaxSplit and for cross-checking RTA in tests.
+[[nodiscard]] std::vector<Time> scheduling_points(Time deadline,
+                                                  std::span<const Subtask> interferers);
+
+/// Total higher-priority demand sum_j ceil(t / T_j) * C_j at time t.
+[[nodiscard]] Time interference_at(Time t, std::span<const Subtask> interferers);
+
+}  // namespace rmts

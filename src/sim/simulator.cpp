@@ -1,0 +1,294 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/checked_math.hpp"
+#include "common/error.hpp"
+
+namespace rmts {
+
+namespace {
+
+/// One piece of a task's split chain, in execution order.
+struct Piece {
+  std::size_t processor;
+  Time wcet;
+  /// EDF mode: activation offset from the job release (window start) and
+  /// the piece's relative deadline end.  Unused under fixed priority.
+  Time window_start;
+  Time window_end;
+};
+
+/// Execution chains per RM rank, validated against the task set.
+std::vector<std::vector<Piece>> build_chains(const TaskSet& tasks,
+                                             const Assignment& assignment,
+                                             DispatchPolicy policy) {
+  // part -> (processor, subtask), per rank; std::map keeps chain order.
+  struct Raw {
+    std::size_t processor;
+    Time wcet;
+    Time deadline;
+  };
+  std::vector<std::map<int, Raw>> parts(tasks.size());
+  std::vector<std::size_t> rank_of_id;
+  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+    const TaskId id = tasks[rank].id;
+    if (id >= rank_of_id.size()) rank_of_id.resize(id + 1, tasks.size());
+    rank_of_id[id] = rank;
+  }
+
+  for (std::size_t q = 0; q < assignment.processors.size(); ++q) {
+    for (const Subtask& s : assignment.processors[q].subtasks) {
+      if (s.task_id >= rank_of_id.size() || rank_of_id[s.task_id] == tasks.size()) {
+        throw InvalidConfigError("simulate: subtask of unknown task");
+      }
+      if (s.wcet <= 0) throw InvalidConfigError("simulate: non-positive piece wcet");
+      const std::size_t rank = rank_of_id[s.task_id];
+      if (!parts[rank].emplace(s.part, Raw{q, s.wcet, s.deadline}).second) {
+        throw InvalidConfigError("simulate: duplicate chain part");
+      }
+    }
+  }
+
+  std::vector<std::vector<Piece>> chains(tasks.size());
+  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+    Time total = 0;
+    Time window = 0;
+    int expected_part = 0;
+    for (const auto& [part, raw] : parts[rank]) {
+      if (part != expected_part++) {
+        throw InvalidConfigError("simulate: chain with missing part");
+      }
+      total += raw.wcet;
+      chains[rank].push_back(
+          Piece{raw.processor, raw.wcet, window, window + raw.deadline});
+      window += raw.deadline;
+    }
+    if (total != tasks[rank].wcet) {
+      throw InvalidConfigError("simulate: chain does not cover task wcet");
+    }
+    if (policy == DispatchPolicy::kEarliestDeadlineFirst &&
+        window > tasks[rank].period) {
+      throw InvalidConfigError("simulate: EDF windows exceed the period");
+    }
+  }
+  return chains;
+}
+
+struct Job {
+  bool active{false};
+  Time release{0};
+  Time deadline{0};
+  std::size_t pos{0};  // current chain piece
+  Time remaining{0};   // remaining wcet of the current piece
+};
+
+}  // namespace
+
+SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
+                   const SimConfig& config) {
+  if (config.horizon <= 0) throw InvalidConfigError("simulate: horizon must be positive");
+  if (!config.offsets.empty() && config.offsets.size() != tasks.size()) {
+    throw InvalidConfigError("simulate: offsets size mismatch");
+  }
+  const bool edf = config.policy == DispatchPolicy::kEarliestDeadlineFirst;
+  const std::size_t n = tasks.size();
+  const std::size_t m = assignment.processors.size();
+  const auto chains = build_chains(tasks, assignment, config.policy);
+
+  SimResult result;
+  result.busy_time.assign(m, 0);
+  result.max_response.assign(n, 0);
+
+  std::vector<Job> job(n);
+  std::vector<Time> next_release(n, 0);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    next_release[rank] = config.offsets.empty() ? 0 : config.offsets[rank];
+  }
+
+  // Ready ranks per processor (rank-ordered for deterministic ties);
+  // dispatch key depends on the policy.
+  std::vector<std::set<std::size_t>> ready(m);
+  std::vector<std::optional<std::size_t>> running(m);
+  // Last (rank, part) each processor was traced as executing; nullopt =
+  // idle.  Tracked separately from `running` because completions reset
+  // `running` before the dispatch step runs.
+  std::vector<std::optional<std::pair<std::size_t, std::size_t>>> traced(m);
+  // EDF window activations that are still in the future: rank -> time.
+  std::vector<Time> activation(n, kTimeInfinity);
+
+  // Piece absolute-deadline key for EDF dispatch.
+  const auto edf_key = [&](std::size_t rank) {
+    return job[rank].release + chains[rank][job[rank].pos].window_end;
+  };
+  const auto pick = [&](const std::set<std::size_t>& candidates)
+      -> std::optional<std::size_t> {
+    if (candidates.empty()) return std::nullopt;
+    if (!edf) return *candidates.begin();
+    std::size_t best = *candidates.begin();
+    for (const std::size_t rank : candidates) {
+      if (edf_key(rank) < edf_key(best)) best = rank;
+    }
+    return best;
+  };
+  // Queue a piece: immediately ready, or parked until its window opens.
+  const auto enqueue = [&](std::size_t rank, Time now) {
+    const Piece& piece = chains[rank][job[rank].pos];
+    const Time start =
+        edf ? std::max(now, job[rank].release + piece.window_start) : now;
+    if (start <= now) {
+      ready[piece.processor].insert(rank);
+    } else {
+      activation[rank] = start;
+    }
+  };
+
+  Time now = 0;
+  bool aborted = false;
+  while (!aborted) {
+    // Next event: release, running-piece completion, or window activation.
+    Time t_next = kTimeInfinity;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      t_next = std::min({t_next, next_release[rank], activation[rank]});
+    }
+    for (std::size_t q = 0; q < m; ++q) {
+      if (running[q]) t_next = std::min(t_next, now + job[*running[q]].remaining);
+    }
+
+    // Events at exactly the horizon are still processed so deadlines on
+    // the boundary are checked; only later events are cut off.
+    const bool past_end = t_next > config.horizon;
+    const Time target = past_end ? config.horizon : t_next;
+
+    // Advance every processor to the target instant.
+    const Time elapsed = target - now;
+    for (std::size_t q = 0; q < m; ++q) {
+      if (!running[q]) continue;
+      job[*running[q]].remaining -= elapsed;
+      result.busy_time[q] += elapsed;
+    }
+    now = target;
+    if (past_end) break;
+
+    // Piece completions.
+    for (std::size_t q = 0; q < m; ++q) {
+      if (!running[q]) continue;
+      const std::size_t rank = *running[q];
+      if (job[rank].remaining != 0) continue;
+      ready[q].erase(rank);
+      running[q].reset();
+      Job& j = job[rank];
+      ++j.pos;
+      if (j.pos == chains[rank].size()) {
+        j.active = false;
+        ++result.jobs_completed;
+        result.max_response[rank] =
+            std::max(result.max_response[rank], now - j.release);
+        if (config.record_trace) {
+          result.trace.push_back(TraceEvent{TraceEvent::Kind::kComplete, now, 0,
+                                            tasks[rank].id, 0, false});
+        }
+        if (now > j.deadline) {
+          result.misses.push_back(DeadlineMiss{tasks[rank].id, j.release, j.deadline});
+          if (config.record_trace) {
+            result.trace.push_back(TraceEvent{TraceEvent::Kind::kMiss, now, 0,
+                                              tasks[rank].id, 0, false});
+          }
+          if (config.stop_at_first_miss) {
+            aborted = true;
+            break;
+          }
+        }
+      } else {
+        j.remaining = chains[rank][j.pos].wcet;
+        enqueue(rank, now);
+        ++result.migrations;
+      }
+    }
+    if (aborted) break;
+
+    // Window activations falling due.
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      if (activation[rank] != now) continue;
+      activation[rank] = kTimeInfinity;
+      ready[chains[rank][job[rank].pos].processor].insert(rank);
+    }
+
+    // Releases.  deadline == next release (implicit deadlines), so an
+    // active job at its task's release instant is exactly a deadline miss.
+    for (std::size_t rank = 0; rank < n && !aborted; ++rank) {
+      if (next_release[rank] != now) continue;
+      Job& j = job[rank];
+      if (j.active) {
+        result.misses.push_back(DeadlineMiss{tasks[rank].id, j.release, j.deadline});
+        if (config.record_trace) {
+          result.trace.push_back(TraceEvent{TraceEvent::Kind::kMiss, now, 0,
+                                            tasks[rank].id, 0, false});
+        }
+        if (config.stop_at_first_miss) {
+          aborted = true;
+          break;
+        }
+        // Continue mode: abandon the late job so the new one can run.
+        ready[chains[rank][j.pos].processor].erase(rank);
+        activation[rank] = kTimeInfinity;
+        for (std::size_t q = 0; q < m; ++q) {
+          if (running[q] == rank) running[q].reset();
+        }
+      }
+      j = Job{true, now, now + tasks[rank].period, 0, chains[rank][0].wcet};
+      enqueue(rank, now);
+      ++result.jobs_released;
+      next_release[rank] += tasks[rank].period;
+      if (config.record_trace) {
+        result.trace.push_back(TraceEvent{TraceEvent::Kind::kRelease, now, 0,
+                                          tasks[rank].id, 0, false});
+      }
+    }
+    if (aborted) break;
+
+    // Dispatch: best ready rank per processor under the active policy.
+    for (std::size_t q = 0; q < m; ++q) {
+      const std::optional<std::size_t> previous = running[q];
+      const std::optional<std::size_t> top = pick(ready[q]);
+      if (top && previous && *previous != *top && ready[q].count(*previous) != 0) {
+        ++result.preemptions;  // displaced before completing its piece
+      }
+      running[q] = top;
+      if (config.record_trace) {
+        std::optional<std::pair<std::size_t, std::size_t>> current;
+        if (top) current = std::make_pair(*top, job[*top].pos);
+        if (current != traced[q]) {
+          traced[q] = current;
+          if (top) {
+            result.trace.push_back(TraceEvent{TraceEvent::Kind::kRun, now, q,
+                                              tasks[*top].id,
+                                              static_cast<int>(job[*top].pos),
+                                              false});
+          } else {
+            result.trace.push_back(
+                TraceEvent{TraceEvent::Kind::kRun, now, q, 0, 0, true});
+          }
+        }
+      }
+    }
+  }
+
+  result.simulated_until = now;
+  result.schedulable = result.misses.empty();
+  return result;
+}
+
+Time recommended_horizon(const TaskSet& tasks, Time cap) {
+  const std::vector<Time> periods = tasks.periods();
+  const auto h = hyperperiod(periods);
+  if (!h) return cap;
+  const auto twice = checked_mul(*h, 2);
+  if (!twice || *twice > cap) return cap;
+  return *twice;
+}
+
+}  // namespace rmts

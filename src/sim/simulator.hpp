@@ -1,0 +1,99 @@
+// Discrete-event simulator for partitioned preemptive scheduling with task
+// splitting (the run-time model of paper Section II, plus an EDF mode for
+// the window-based EDF-TS baseline).
+//
+// Semantics simulated:
+//  * every processor runs its hosted subtasks preemptively;
+//  * dispatch policy:
+//     - kFixedPriority: the tasks' ORIGINAL RM priorities (the paper's
+//       scheduler); the pieces of a split job execute in chain order --
+//       piece k+1 becomes ready the instant piece k completes (the
+//       cross-processor synchronization the synthetic deadlines model);
+//     - kEarliestDeadlineFirst: per-processor EDF over piece absolute
+//       deadlines; each piece k runs inside its window
+//       [release + sum_{l<k} delta_l, release + sum_{l<=k} delta_l), where
+//       delta_l is the piece's deadline field (EDF-TS windows) -- piece
+//       k+1 activates at its window start or its predecessor's
+//       completion, whichever is later;
+//  * jobs are released strictly periodically from per-task offsets
+//    (synchronous, offset 0, by default);
+//  * a deadline miss is a job that has not finished its final piece by
+//    release + T.
+//
+// This is the ground truth against which every accepted partition is
+// validated (paper Lemma 4): integration tests and
+// bench_e9_simulation_audit run each accepted Assignment here and require
+// zero misses.  The simulator also records the maximum observed
+// end-to-end response time per task, which tests compare against the
+// analytical bounds (analysis must dominate observation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "partition/assignment.hpp"
+#include "sim/trace.hpp"
+#include "tasks/task_set.hpp"
+
+namespace rmts {
+
+/// Per-processor dispatching discipline.
+enum class DispatchPolicy : std::uint8_t {
+  kFixedPriority,
+  kEarliestDeadlineFirst,
+};
+
+/// Simulation parameters.
+struct SimConfig {
+  /// Simulate [0, horizon).  See recommended_horizon().
+  Time horizon{0};
+  /// Release offset per RM rank; empty = synchronous (all zero).
+  std::vector<Time> offsets;
+  /// Stop at the first deadline miss (default) or keep counting misses.
+  bool stop_at_first_miss{true};
+  DispatchPolicy policy{DispatchPolicy::kFixedPriority};
+  /// Record a TraceEvent stream (see sim/trace.hpp) in SimResult::trace.
+  bool record_trace{false};
+};
+
+/// One observed deadline miss.
+struct DeadlineMiss {
+  TaskId task{0};
+  Time release{0};
+  Time deadline{0};
+};
+
+/// Aggregate outcome of one simulation run.
+struct SimResult {
+  bool schedulable{false};  ///< no miss observed within the horizon
+  std::vector<DeadlineMiss> misses;
+  Time simulated_until{0};
+  std::uint64_t jobs_released{0};
+  std::uint64_t jobs_completed{0};
+  std::uint64_t preemptions{0};
+  /// Cross-processor hops taken by split jobs (chain-length-1 per job).
+  std::uint64_t migrations{0};
+  /// Busy ticks per processor; busy/horizon is the observed utilization.
+  std::vector<Time> busy_time;
+  /// Max observed end-to-end response (tail completion - release) per RM
+  /// rank, over completed jobs; 0 for tasks with no completed job.
+  std::vector<Time> max_response;
+  /// Event stream, populated iff SimConfig::record_trace.
+  std::vector<TraceEvent> trace;
+};
+
+/// Runs the assignment produced by a partitioner for `tasks`.  Requires
+/// assignment.success; every task must be fully covered by its subtasks
+/// (checked, throws InvalidConfigError on malformed input).  In EDF mode
+/// the piece windows of each task must fit within its period (checked).
+[[nodiscard]] SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
+                                 const SimConfig& config);
+
+/// Validation horizon: 2 * hyperperiod when that fits under `cap`
+/// (periodic schedules repeat, so this covers the steady state), else
+/// `cap` (bounded validation -- still a sound necessary check).
+[[nodiscard]] Time recommended_horizon(const TaskSet& tasks, Time cap);
+
+}  // namespace rmts

@@ -1,0 +1,51 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rmts {
+
+std::string render_gantt(const std::vector<TraceEvent>& trace,
+                         std::size_t processors, Time horizon,
+                         std::size_t width) {
+  if (width == 0 || horizon <= 0 || processors == 0) return {};
+
+  // Per-processor run segments, chronological (the trace is emitted in
+  // time order; dispatch changes fully describe who runs when).
+  struct Segment {
+    Time start;
+    char symbol;
+  };
+  std::vector<std::vector<Segment>> rows(processors);
+  for (auto& row : rows) row.push_back(Segment{0, '.'});
+  for (const TraceEvent& event : trace) {
+    if (event.kind != TraceEvent::Kind::kRun) continue;
+    char symbol = '.';
+    if (!event.idle) {
+      symbol = static_cast<char>('A' + static_cast<char>(event.task % 26));
+      if (event.part > 0) {
+        symbol = static_cast<char>(symbol - 'A' + 'a');  // split piece
+      }
+    }
+    rows[event.processor].push_back(Segment{event.time, symbol});
+  }
+
+  const Time slot = std::max<Time>(1, ceil_div(horizon, static_cast<Time>(width)));
+  std::ostringstream os;
+  os << "time 0.." << horizon << ", one column = " << slot << " ticks\n";
+  for (std::size_t q = 0; q < processors; ++q) {
+    os << 'P' << q + 1 << ' ';
+    std::size_t cursor = 0;
+    for (Time t = 0; t < horizon; t += slot) {
+      // Last segment starting at or before t.
+      while (cursor + 1 < rows[q].size() && rows[q][cursor + 1].start <= t) {
+        ++cursor;
+      }
+      os << rows[q][cursor].symbol;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rmts

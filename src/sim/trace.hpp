@@ -1,0 +1,38 @@
+// Execution traces and ASCII Gantt rendering.
+//
+// With SimConfig::record_trace the simulator emits a chronological event
+// stream (dispatch changes, releases, completions, misses) that tooling
+// can post-process; render_gantt() turns it into a terminal Gantt chart --
+// one row per processor, one column per time slot -- which is how the
+// examples and the CLI (--gantt) visualize split-task schedules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "tasks/task.hpp"
+
+namespace rmts {
+
+/// One trace entry.  kRun marks a dispatch change on `processor`: from
+/// `time` on it executes `task` (part `part`), or idles if `idle` is set.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kRun, kRelease, kComplete, kMiss };
+  Kind kind{Kind::kRun};
+  Time time{0};
+  std::size_t processor{0};  ///< kRun only; 0 otherwise
+  TaskId task{0};
+  int part{0};               ///< kRun: chain part being executed
+  bool idle{false};          ///< kRun: processor went idle
+};
+
+/// Renders the kRun events of `trace` as an ASCII Gantt chart over
+/// [0, horizon) with `width` columns; each task prints as a letter
+/// ('A' + id mod 26, lowercase for non-zero chain parts), idle as '.'.
+/// Sampling is at slot start instants.
+[[nodiscard]] std::string render_gantt(const std::vector<TraceEvent>& trace,
+                                       std::size_t processors, Time horizon,
+                                       std::size_t width = 80);
+
+}  // namespace rmts

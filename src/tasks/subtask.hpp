@@ -1,0 +1,59 @@
+// Subtasks: the unit actually assigned to processors (Section II).
+//
+// A non-split task is represented by a single `whole` subtask with
+// deadline == period.  A split task tau_i is a chain of `body` subtasks
+// followed by one `tail` subtask; subtask k's synthetic deadline is
+//   Delta_i^k = T_i - sum_{l<k} R_i^l                       (paper Eq. 1)
+// which folds the cross-processor synchronization delay (waiting for the
+// predecessor subtask to finish) into the deadline used by response-time
+// analysis.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+#include "tasks/task.hpp"
+
+namespace rmts {
+
+/// Role of a subtask within its parent task's split chain.
+enum class SubtaskKind : std::uint8_t {
+  kWhole,  ///< The task was not split.
+  kBody,   ///< A non-final piece of a split task.
+  kTail,   ///< The final piece of a split task.
+};
+
+/// One schedulable piece of a task, pinned to a single processor.
+/// Priority is inherited from the parent task (RM order); subtasks of the
+/// same task are never assigned to the same processor, so parent priority
+/// totally orders the subtasks on any one processor.
+struct Subtask {
+  std::size_t priority{0};   ///< Parent's RM rank; 0 = highest (shortest T).
+  TaskId task_id{0};         ///< Parent task's id.
+  int part{0};               ///< 0-based chain position k-1.
+  Time wcet{0};              ///< C_i^k.
+  Time period{0};            ///< T_i (the parent's period).
+  Time deadline{0};          ///< Synthetic deadline Delta_i^k <= T_i.
+  SubtaskKind kind{SubtaskKind::kWhole};
+
+  [[nodiscard]] double utilization() const noexcept {
+    return static_cast<double>(wcet) / static_cast<double>(period);
+  }
+
+  /// True iff this subtask preempts `other` under the paper's run-time
+  /// scheduler (original RM priorities).
+  [[nodiscard]] bool higher_priority_than(const Subtask& other) const noexcept {
+    return priority < other.priority;
+  }
+
+  friend bool operator==(const Subtask&, const Subtask&) = default;
+};
+
+/// Makes the `whole` subtask representation tau_i^1 = <C_i, T_i, T_i> of a
+/// non-split task whose RM rank is `priority`.
+[[nodiscard]] inline Subtask whole_subtask(const Task& task, std::size_t priority) noexcept {
+  return Subtask{priority, task.id, 0,          task.wcet,
+                 task.period,       task.period, SubtaskKind::kWhole};
+}
+
+}  // namespace rmts

@@ -1,0 +1,30 @@
+// The Liu & Layland sporadic task model (Section II of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace rmts {
+
+/// Stable identifier of a task within its TaskSet (index before RM sorting
+/// is not meaningful; ids survive the sort).
+using TaskId = std::uint32_t;
+
+/// An implicit-deadline sporadic task tau_i = <C_i, T_i>: worst-case
+/// execution time C and minimum inter-release separation T, with relative
+/// deadline equal to T.
+struct Task {
+  Time wcet{0};    ///< C_i in ticks, 0 < wcet <= period.
+  Time period{0};  ///< T_i in ticks (also the relative deadline).
+  TaskId id{0};    ///< Stable identity, unique within a TaskSet.
+
+  /// U_i = C_i / T_i.
+  [[nodiscard]] double utilization() const noexcept {
+    return static_cast<double>(wcet) / static_cast<double>(period);
+  }
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+}  // namespace rmts

@@ -1,0 +1,73 @@
+// TaskSet: a validated, RM-priority-ordered collection of tasks.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "tasks/task.hpp"
+
+namespace rmts {
+
+/// An immutable set of L&L tasks sorted by rate-monotonic priority:
+/// index 0 has the shortest period (highest priority); ties are broken by
+/// task id so the order is total and deterministic.  Construction validates
+/// the model invariants (0 < C <= T, unique ids) and throws
+/// InvalidTaskError on violation.
+class TaskSet {
+ public:
+  TaskSet() = default;
+
+  /// Sorts `tasks` into RM order and validates them.
+  explicit TaskSet(std::vector<Task> tasks);
+
+  /// Convenience: builds tasks from (wcet, period) pairs, assigning ids in
+  /// input order.
+  static TaskSet from_pairs(const std::vector<std::pair<Time, Time>>& pairs);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+  /// Task with RM rank `priority` (0 = highest priority).
+  [[nodiscard]] const Task& operator[](std::size_t priority) const noexcept {
+    return tasks_[priority];
+  }
+
+  [[nodiscard]] std::span<const Task> tasks() const noexcept { return tasks_; }
+
+  [[nodiscard]] auto begin() const noexcept { return tasks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tasks_.end(); }
+
+  /// U(tau) = sum of task utilizations.
+  [[nodiscard]] double total_utilization() const noexcept;
+
+  /// U_M(tau) = U(tau) / M, the normalized utilization on M processors.
+  [[nodiscard]] double normalized_utilization(std::size_t processors) const noexcept;
+
+  /// Largest individual task utilization.
+  [[nodiscard]] double max_utilization() const noexcept;
+
+  /// True iff every task has U_i <= threshold.  With
+  /// threshold = Theta/(1+Theta) this is the paper's Definition 1 of a
+  /// *light* task set.
+  [[nodiscard]] bool all_lighter_than(double threshold) const noexcept;
+
+  /// Periods in RM (non-decreasing) order.
+  [[nodiscard]] std::vector<Time> periods() const;
+
+  /// True iff the periods are pairwise harmonic (every pair divides).
+  [[nodiscard]] bool is_harmonic() const noexcept;
+
+  /// Returns a copy with every WCET scaled by `factor` (rounded to ticks,
+  /// clamped to [1, T_i]).  Used by breakdown-utilization search.
+  [[nodiscard]] TaskSet scaled_wcets(double factor) const;
+
+  /// Human-readable one-line-per-task dump.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<Task> tasks_;  // invariant: RM sorted, validated
+};
+
+}  // namespace rmts

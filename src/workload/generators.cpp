@@ -1,0 +1,110 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "workload/uunifast.hpp"
+
+namespace rmts {
+
+namespace {
+
+std::vector<Time> draw_periods(Rng& rng, const WorkloadConfig& config) {
+  std::vector<Time> periods(config.tasks);
+  switch (config.period_model) {
+    case PeriodModel::kLogUniform:
+      for (Time& p : periods) {
+        p = rng.log_uniform_time(config.period_min, config.period_max);
+      }
+      break;
+
+    case PeriodModel::kGrid: {
+      if (config.period_grid.empty()) {
+        throw InvalidConfigError("generate: kGrid requires a period grid");
+      }
+      for (Time& p : periods) {
+        const auto idx = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(config.period_grid.size()) - 1));
+        p = config.period_grid[idx];
+      }
+      break;
+    }
+
+    case PeriodModel::kHarmonic: {
+      // Base in [min, 4*min], then a non-decreasing divisibility chain of
+      // multipliers: each task multiplies the previous period by 1, 2 or 3
+      // (clamped at period_max).
+      const Time base = rng.log_uniform_time(config.period_min,
+                                             std::min<Time>(4 * config.period_min,
+                                                            config.period_max));
+      Time current = base;
+      for (Time& p : periods) {
+        p = current;
+        const Time factor = rng.uniform_int(1, 3);
+        if (current <= config.period_max / factor) current *= factor;
+      }
+      break;
+    }
+
+    case PeriodModel::kHarmonicChains: {
+      // Distinct odd primes as chain bases; powers of two within chains.
+      static constexpr Time kPrimes[] = {3, 5, 7, 11, 13, 17, 19, 23};
+      if (config.harmonic_chains == 0 ||
+          config.harmonic_chains > std::size(kPrimes)) {
+        throw InvalidConfigError("generate: harmonic_chains out of range [1,8]");
+      }
+      if (config.harmonic_chains > config.tasks) {
+        throw InvalidConfigError("generate: more chains than tasks");
+      }
+      for (std::size_t i = 0; i < config.tasks; ++i) {
+        // Round-robin chain membership keeps chain sizes near-equal and
+        // guarantees every chain is populated.
+        const std::size_t chain = i % config.harmonic_chains;
+        const Time base = config.period_min * kPrimes[chain];
+        const Time max_exp_limit = config.period_max / base;
+        int max_exp = 0;
+        for (Time v = 1; v * 2 <= max_exp_limit && max_exp < 16; v *= 2) ++max_exp;
+        const Time exponent = rng.uniform_int(0, max_exp);
+        periods[i] = base * (Time{1} << exponent);
+      }
+      break;
+    }
+  }
+  return periods;
+}
+
+}  // namespace
+
+TaskSet generate(Rng& rng, const WorkloadConfig& config) {
+  if (config.tasks == 0) throw InvalidConfigError("generate: need tasks >= 1");
+  if (config.processors == 0) throw InvalidConfigError("generate: need processors >= 1");
+  if (config.period_min <= 0 || config.period_min > config.period_max) {
+    throw InvalidConfigError("generate: bad period range");
+  }
+  const double total =
+      config.normalized_utilization * static_cast<double>(config.processors);
+  if (total <= 0.0) throw InvalidConfigError("generate: utilization must be positive");
+
+  const std::vector<double> utilizations =
+      uunifast_discard(rng, config.tasks, total, config.max_task_utilization);
+  const std::vector<Time> periods = draw_periods(rng, config);
+
+  std::vector<Task> tasks;
+  tasks.reserve(config.tasks);
+  for (std::size_t i = 0; i < config.tasks; ++i) {
+    const double exact = utilizations[i] * static_cast<double>(periods[i]);
+    Time wcet = static_cast<Time>(std::llround(exact));
+    wcet = std::clamp<Time>(wcet, 1, periods[i]);
+    tasks.push_back(Task{wcet, periods[i], static_cast<TaskId>(i)});
+  }
+  return TaskSet(std::move(tasks));
+}
+
+std::vector<Time> small_hyperperiod_grid() {
+  // Divisors of 72000 spanning roughly one decade; LCM = 72000 ticks.
+  return {1000,  1200,  1500,  2000,  3000,  4000,
+          4500,  6000,  8000,  9000,  12000, 18000};
+}
+
+}  // namespace rmts

@@ -1,0 +1,63 @@
+// Random task-set generation for the evaluation harness (DESIGN.md S11).
+//
+// A WorkloadConfig describes one population of task sets; generate() draws
+// one member.  All draws are deterministic functions of the Rng passed in,
+// so experiments are reproducible from (seed, sample index).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "tasks/task_set.hpp"
+
+namespace rmts {
+
+/// How periods are drawn.
+enum class PeriodModel : std::uint8_t {
+  /// Log-uniform integers in [period_min, period_max] (Emberson et al.) --
+  /// the default for acceptance-ratio sweeps.
+  kLogUniform,
+  /// Uniform choice from an explicit grid.  Used when a small hyperperiod
+  /// matters (simulation validation); see small_hyperperiod_grid().
+  kGrid,
+  /// A fully harmonic set: a random base period extended by a random
+  /// divisibility chain of multipliers (K = 1 harmonic chain).
+  kHarmonic,
+  /// Exactly `harmonic_chains` harmonic chains: chain k uses base
+  /// period_min * p_k (distinct odd primes p_k) and powers of two on top;
+  /// distinct odd primes never divide each other, so chains cannot merge
+  /// and the minimum chain cover is exactly K (asserted in tests).
+  kHarmonicChains,
+};
+
+/// Population parameters of one workload.
+struct WorkloadConfig {
+  std::size_t tasks{8};
+  std::size_t processors{4};
+  /// Target U_M(tau) = U(tau)/M.  Achieved up to WCET rounding (periods are
+  /// >= 10^3 ticks, so the rounding error per task is < 0.1%).
+  double normalized_utilization{0.5};
+  /// Upper bound on each task's utilization; set to
+  /// light_task_threshold(tasks) to draw the paper's light task sets.
+  double max_task_utilization{1.0};
+  PeriodModel period_model{PeriodModel::kLogUniform};
+  Time period_min{1000};
+  Time period_max{1000000};
+  /// Grid for PeriodModel::kGrid.
+  std::vector<Time> period_grid;
+  /// Chain count for PeriodModel::kHarmonicChains.
+  std::size_t harmonic_chains{2};
+};
+
+/// Draws one task set from the population.  Throws InvalidConfigError for
+/// infeasible targets (e.g. U_M * M > tasks * max_task_utilization).
+[[nodiscard]] TaskSet generate(Rng& rng, const WorkloadConfig& config);
+
+/// A 12-entry period grid of divisors of 72000 = 2^6 * 3^2 * 5^3 ticks:
+/// large enough to vary, small enough that 2x-hyperperiod simulation is
+/// cheap.
+[[nodiscard]] std::vector<Time> small_hyperperiod_grid();
+
+}  // namespace rmts

@@ -1,0 +1,67 @@
+#include "workload/uunifast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rmts {
+
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total) {
+  if (n == 0 || total <= 0.0) {
+    throw InvalidConfigError("uunifast: need n >= 1 and total > 0");
+  }
+  std::vector<double> u(n);
+  double sum = total;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double exponent = 1.0 / static_cast<double>(n - 1 - i);
+    const double next = sum * std::pow(rng.uniform(), exponent);
+    u[i] = sum - next;
+    sum = next;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+std::vector<double> uunifast_discard(Rng& rng, std::size_t n, double total,
+                                     double max_each) {
+  if (total > static_cast<double>(n) * max_each) {
+    throw InvalidConfigError("uunifast_discard: total exceeds n * max_each");
+  }
+  constexpr int kRetryBudget = 1000;
+  std::vector<double> u;
+  for (int attempt = 0; attempt < kRetryBudget; ++attempt) {
+    u = uunifast(rng, n, total);
+    const bool admissible = std::all_of(u.begin(), u.end(), [&](double v) {
+      return v > 0.0 && v <= max_each;
+    });
+    if (admissible) return u;
+  }
+  // High-load regime (total close to n * max_each): plain rejection has a
+  // vanishing acceptance rate.  Fall back to one exact clamp-redistribute
+  // pass: clamp the overshooting entries to the cap and spread the excess
+  // over the remaining headroom proportionally.  Each entry receives at
+  // most its own headroom (excess <= total headroom by feasibility), so a
+  // single pass restores both the sum and the cap; only uniformity over
+  // the simplex is (mildly) sacrificed, in a regime where the admissible
+  // region is a thin corner anyway.
+  double excess = 0.0;
+  double headroom = 0.0;
+  for (double& v : u) {
+    if (v > max_each) {
+      excess += v - max_each;
+      v = max_each;
+    } else {
+      headroom += max_each - v;
+    }
+  }
+  if (excess > 0.0 && headroom > 0.0) {
+    const double scale = excess / headroom;
+    for (double& v : u) {
+      if (v < max_each) v += scale * (max_each - v);
+    }
+  }
+  return u;
+}
+
+}  // namespace rmts

@@ -1,0 +1,27 @@
+// Unbiased random utilization vectors (Bini & Buttazzo's UUniFast) plus the
+// discard variant that additionally bounds each task's utilization -- the
+// standard way to generate the paper's "light" task sets
+// (every U_i <= Theta/(1+Theta)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rmts {
+
+/// Draws n utilizations summing to `total`, uniformly over the simplex.
+/// Requires n >= 1 and total > 0; individual values may approach `total`.
+[[nodiscard]] std::vector<double> uunifast(Rng& rng, std::size_t n, double total);
+
+/// UUniFast-Discard: redraws until every utilization is in (0, max_each].
+/// Requires total <= n * max_each; throws InvalidConfigError if infeasible.
+/// In the extreme regime where rejection stops converging (total within a
+/// few percent of n * max_each) it falls back to one exact
+/// clamp-redistribute pass that preserves the sum and the cap at a mild
+/// cost in simplex uniformity (documented in the implementation).
+[[nodiscard]] std::vector<double> uunifast_discard(Rng& rng, std::size_t n,
+                                                   double total, double max_each);
+
+}  // namespace rmts

@@ -1,0 +1,219 @@
+// Experiment harness: parallel_for semantics, acceptance-ratio sweeps,
+// breakdown-utilization search, and thread-count invariance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "analysis/acceptance.hpp"
+#include "analysis/breakdown.hpp"
+#include "analysis/parallel.hpp"
+#include "common/error.hpp"
+
+namespace rmts {
+namespace {
+
+/// Closed-form stand-in: accepts iff U_M(tau) <= threshold.  Lets the
+/// harness tests assert exact expected curves.
+class ThresholdTest final : public SchedulabilityTest {
+ public:
+  explicit ThresholdTest(double threshold) : threshold_(threshold) {}
+  [[nodiscard]] bool accepts(const TaskSet& tasks,
+                             std::size_t processors) const override {
+    return tasks.normalized_utilization(processors) <= threshold_;
+  }
+  [[nodiscard]] std::string name() const override { return "threshold"; }
+
+ private:
+  double threshold_;
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, 8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel_for(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> hits(100, 0);  // no atomics needed with 1 thread
+  parallel_for(100, 1, [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  EXPECT_THROW(parallel_for(64, 4,
+                            [](std::size_t i) {
+                              if (i == 13) throw InvalidConfigError("boom");
+                            }),
+               InvalidConfigError);
+}
+
+TEST(Sweep, EndpointsAndSpacing) {
+  const auto points = sweep(0.5, 1.0, 6);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_DOUBLE_EQ(points.front(), 0.5);
+  EXPECT_DOUBLE_EQ(points.back(), 1.0);
+  EXPECT_NEAR(points[1] - points[0], 0.1, 1e-12);
+}
+
+TEST(Sweep, RejectsDegenerate) {
+  EXPECT_THROW(sweep(0.0, 1.0, 1), InvalidConfigError);
+}
+
+TEST(Acceptance, StepFunctionAroundThreshold) {
+  AcceptanceConfig config;
+  config.workload.tasks = 8;
+  config.workload.processors = 2;
+  config.utilization_points = {0.3, 0.5, 0.69, 0.9};
+  config.samples = 20;
+  const TestRoster roster{std::make_shared<ThresholdTest>(0.7)};
+  const AcceptanceResult result = run_acceptance(config, roster);
+  ASSERT_EQ(result.ratio.size(), 4u);
+  // Generated sets land within ~1% of the target utilization.
+  EXPECT_DOUBLE_EQ(result.ratio[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(result.ratio[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(result.ratio[2][0], 1.0);
+  EXPECT_DOUBLE_EQ(result.ratio[3][0], 0.0);
+}
+
+TEST(Acceptance, DeterministicAcrossThreadCounts) {
+  AcceptanceConfig config;
+  config.workload.tasks = 8;
+  config.workload.processors = 2;
+  config.utilization_points = {0.66, 0.70, 0.74};
+  config.samples = 60;
+  const TestRoster roster{std::make_shared<ThresholdTest>(0.7)};
+  config.threads = 1;
+  const AcceptanceResult serial = run_acceptance(config, roster);
+  config.threads = 8;
+  const AcceptanceResult parallel = run_acceptance(config, roster);
+  for (std::size_t p = 0; p < serial.ratio.size(); ++p) {
+    EXPECT_DOUBLE_EQ(serial.ratio[p][0], parallel.ratio[p][0]);
+  }
+}
+
+TEST(Acceptance, TableShape) {
+  AcceptanceConfig config;
+  config.workload.tasks = 4;
+  config.workload.processors = 2;
+  config.utilization_points = {0.4, 0.6};
+  config.samples = 5;
+  const TestRoster roster{std::make_shared<ThresholdTest>(0.5),
+                          std::make_shared<ThresholdTest>(0.9)};
+  const AcceptanceResult result = run_acceptance(config, roster);
+  EXPECT_EQ(result.algorithm_names.size(), 2u);
+  EXPECT_EQ(result.to_table().row_count(), 2u);
+}
+
+TEST(Acceptance, LastPointAbove) {
+  AcceptanceResult result;
+  result.utilization_points = {0.5, 0.6, 0.7};
+  result.ratio = {{1.0}, {0.8}, {0.1}};
+  EXPECT_DOUBLE_EQ(result.last_point_above(0, 0.5), 0.6);
+  EXPECT_DOUBLE_EQ(result.last_point_above(0, 0.95), 0.5);
+  EXPECT_DOUBLE_EQ(result.last_point_above(0, 1.1), 0.0);
+}
+
+TEST(Acceptance, EmptyRosterOrSweepThrows) {
+  AcceptanceConfig config;
+  config.utilization_points = {0.5};
+  EXPECT_THROW(run_acceptance(config, {}), InvalidConfigError);
+  const TestRoster roster{std::make_shared<ThresholdTest>(0.5)};
+  config.utilization_points.clear();
+  EXPECT_THROW(run_acceptance(config, roster), InvalidConfigError);
+}
+
+TEST(Breakdown, LocatesThresholdWithinTolerance) {
+  Rng rng(1);
+  WorkloadConfig workload;
+  workload.tasks = 8;
+  workload.processors = 2;
+  workload.normalized_utilization = 0.3;
+  workload.max_task_utilization = 0.3;
+  const TaskSet base = generate(rng, workload);
+  const ThresholdTest test(0.65);
+  const double breakdown = breakdown_utilization(test, base, 2, 0.1, 1.0, 1e-3);
+  EXPECT_NEAR(breakdown, 0.65, 0.01);
+}
+
+TEST(Breakdown, ZeroWhenEvenLowRejected) {
+  Rng rng(2);
+  WorkloadConfig workload;
+  workload.tasks = 8;
+  workload.processors = 2;
+  workload.normalized_utilization = 0.3;
+  const TaskSet base = generate(rng, workload);
+  const ThresholdTest test(0.05);
+  EXPECT_DOUBLE_EQ(breakdown_utilization(test, base, 2, 0.2, 1.0), 0.0);
+}
+
+TEST(Breakdown, HiReturnedWhenEverythingAccepted) {
+  Rng rng(3);
+  WorkloadConfig workload;
+  workload.tasks = 8;
+  workload.processors = 2;
+  workload.normalized_utilization = 0.3;
+  workload.max_task_utilization = 0.3;
+  const TaskSet base = generate(rng, workload);
+  const ThresholdTest test(2.0);
+  // hi is additionally capped so no task exceeds U = 1 under scaling.
+  const double cap = base.normalized_utilization(2) / base.max_utilization();
+  EXPECT_NEAR(breakdown_utilization(test, base, 2, 0.2, 0.9),
+              std::min(0.9, cap), 1e-9);
+}
+
+TEST(Breakdown, RunAveragesOverShapes) {
+  BreakdownConfig config;
+  config.workload.tasks = 8;
+  config.workload.processors = 2;
+  config.workload.normalized_utilization = 0.3;
+  config.workload.max_task_utilization = 0.3;
+  config.samples = 10;
+  const TestRosterRef roster{std::make_shared<ThresholdTest>(0.6),
+                             std::make_shared<ThresholdTest>(0.8)};
+  const BreakdownResult result = run_breakdown(config, roster);
+  ASSERT_EQ(result.mean.size(), 2u);
+  EXPECT_NEAR(result.mean[0], 0.6, 0.01);
+  EXPECT_NEAR(result.mean[1], 0.8, 0.01);
+  EXPECT_LE(result.min[0], result.mean[0] + 1e-9);
+}
+
+
+TEST(Breakdown, DeterministicAcrossThreadCounts) {
+  BreakdownConfig config;
+  config.workload.tasks = 8;
+  config.workload.processors = 2;
+  config.workload.normalized_utilization = 0.3;
+  config.workload.max_task_utilization = 0.3;
+  config.samples = 16;
+  const TestRosterRef roster{std::make_shared<ThresholdTest>(0.6),
+                             std::make_shared<ThresholdTest>(0.8)};
+  config.threads = 1;
+  const BreakdownResult serial = run_breakdown(config, roster);
+  config.threads = 8;
+  const BreakdownResult parallel = run_breakdown(config, roster);
+  for (std::size_t a = 0; a < roster.size(); ++a) {
+    EXPECT_DOUBLE_EQ(serial.mean[a], parallel.mean[a]);
+    EXPECT_DOUBLE_EQ(serial.min[a], parallel.min[a]);
+  }
+}
+
+TEST(Breakdown, BadRangeThrows) {
+  Rng rng(4);
+  WorkloadConfig workload;
+  workload.tasks = 4;
+  workload.processors = 2;
+  const TaskSet base = generate(rng, workload);
+  const ThresholdTest test(0.5);
+  EXPECT_THROW((void)breakdown_utilization(test, base, 2, 0.0, 1.0),
+               InvalidConfigError);
+  EXPECT_THROW((void)breakdown_utilization(test, base, 2, 0.9, 0.5),
+               InvalidConfigError);
+}
+
+}  // namespace
+}  // namespace rmts

@@ -1,0 +1,286 @@
+// EDF substrate: demand bound function, QPA exact test, the EDF-TS
+// semi-partitioner, and end-to-end validation in the simulator's EDF mode.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/checked_math.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "partition/edf_split.hpp"
+#include "rta/edf_demand.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace rmts {
+namespace {
+
+Subtask sporadic(Time wcet, Time period, Time deadline, std::size_t rank = 0) {
+  return Subtask{rank,   static_cast<TaskId>(rank), 0, wcet, period,
+                 deadline, SubtaskKind::kWhole};
+}
+
+TEST(Dbf, StepsAtDeadlinePoints) {
+  // (C=2, T=10, D=6): dbf = 0 below 6, 2 in [6,16), 4 in [16,26), ...
+  EXPECT_EQ(dbf(2, 10, 6, 5), 0);
+  EXPECT_EQ(dbf(2, 10, 6, 6), 2);
+  EXPECT_EQ(dbf(2, 10, 6, 15), 2);
+  EXPECT_EQ(dbf(2, 10, 6, 16), 4);
+  EXPECT_EQ(dbf(2, 10, 6, 106), 22);
+}
+
+TEST(Dbf, ImplicitDeadline) {
+  EXPECT_EQ(dbf(3, 10, 10, 9), 0);
+  EXPECT_EQ(dbf(3, 10, 10, 10), 3);
+  EXPECT_EQ(dbf(3, 10, 10, 20), 6);
+}
+
+TEST(TotalDemand, Sums) {
+  const std::vector<Subtask> set{sporadic(2, 10, 6, 0), sporadic(5, 20, 20, 1)};
+  EXPECT_EQ(total_demand(set, 20), 2 * 2 + 5);
+}
+
+TEST(EdfSchedulable, ImplicitDeadlinesReduceToUtilization) {
+  // EDF optimality: U <= 1 exact for D == T, even at exactly 1.
+  const std::vector<Subtask> full{sporadic(5, 10, 10, 0), sporadic(10, 20, 20, 1)};
+  EXPECT_TRUE(edf_schedulable(full));
+  const std::vector<Subtask> over{sporadic(6, 10, 10, 0), sporadic(10, 20, 20, 1)};
+  EXPECT_FALSE(edf_schedulable(over));
+}
+
+TEST(EdfSchedulable, ConstrainedDeadlineHandExample) {
+  // (2,10,5) + (5,20,12): h(5)=2, h(12)=2+5=7 <= 12, h(15)=4+5=9,
+  // h(25)=6+5=11, h(32)=6+10=16 <= 32... schedulable.
+  const std::vector<Subtask> good{sporadic(2, 10, 5, 0), sporadic(5, 20, 12, 1)};
+  EXPECT_TRUE(edf_schedulable(good));
+  // Tighten: (6,10,6) + (5,20,12): h(12) = 12+5 = 17 > 12 -> unschedulable.
+  const std::vector<Subtask> bad{sporadic(6, 10, 6, 0), sporadic(5, 20, 12, 1)};
+  EXPECT_FALSE(edf_schedulable(bad));
+}
+
+TEST(EdfSchedulable, WcetBeyondDeadlineRejected) {
+  EXPECT_FALSE(edf_schedulable(std::vector<Subtask>{sporadic(7, 10, 6, 0)}));
+}
+
+TEST(EdfSchedulable, EmptySetAccepted) {
+  EXPECT_TRUE(edf_schedulable({}));
+}
+
+TEST(EdfSchedulable, ArbitraryDeadlineThrows) {
+  EXPECT_THROW((void)edf_schedulable(std::vector<Subtask>{sporadic(1, 10, 12, 0)}),
+               InvalidTaskError);
+}
+
+// Cross-check QPA against brute-force demand checking at every deadline
+// point within a safe horizon, on randomized constrained-deadline sets.
+TEST(EdfSchedulable, AgreesWithBruteForceDemandCheck) {
+  Rng rng(6001);
+  // Small-LCM periods keep the brute-force horizon tiny (lcm = 60).
+  const Time period_grid[] = {10, 15, 20, 30, 60};
+  int schedulable_count = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    std::vector<Subtask> set;
+    const int n = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < n; ++i) {
+      const Time period = period_grid[rng.uniform_int(0, 4)];
+      // Alternate light and tight draws so both outcomes occur often.
+      const Time wcet_hi =
+          trial % 2 == 0 ? std::max<Time>(1, period / n) : std::max<Time>(1, period / 2);
+      const Time wcet = rng.uniform_int(1, wcet_hi);
+      const Time deadline = rng.uniform_int(wcet, period);
+      set.push_back(sporadic(wcet, period, deadline, static_cast<std::size_t>(i)));
+    }
+    // Brute force over one hyperperiod + max deadline (sufficient for
+    // sporadic dbf: the demand pattern repeats with the hyperperiod).
+    std::vector<Time> periods;
+    for (const Subtask& s : set) periods.push_back(s.period);
+    const Time h = *hyperperiod(periods);
+    Time max_deadline = 0;
+    for (const Subtask& s : set) max_deadline = std::max(max_deadline, s.deadline);
+    double utilization = 0.0;
+    for (const Subtask& s : set) utilization += s.utilization();
+    bool brute = utilization <= 1.0 + 1e-12;
+    if (brute) {
+      for (Time t = 1; t <= h + max_deadline; ++t) {
+        if (total_demand(set, t) > t) {
+          brute = false;
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(edf_schedulable(set), brute) << "trial " << trial;
+    schedulable_count += brute;
+  }
+  // Both outcomes must actually occur for the test to mean anything.
+  EXPECT_GT(schedulable_count, 100);
+  EXPECT_LT(schedulable_count, 550);
+}
+
+TEST(EdfSplit, Name) { EXPECT_EQ(EdfSplit().name(), "EDF-TS"); }
+
+TEST(EdfSplit, WholeTaskFirstFit) {
+  const TaskSet tasks = TaskSet::from_pairs({{500, 1000}, {400, 1000}, {300, 1000}});
+  const Assignment a = EdfSplit().partition(tasks, 2);
+  ASSERT_TRUE(a.success);
+  EXPECT_EQ(a.split_task_count(), 0u);
+  // FFD: 0.5 -> P1, 0.4 -> P1 (0.9 <= cap), 0.3 -> P2.
+  EXPECT_EQ(a.processors[0].subtasks.size(), 2u);
+  EXPECT_EQ(a.processors[1].subtasks.size(), 1u);
+}
+
+TEST(EdfSplit, SplitsAcrossProcessorsWithWindows) {
+  // Three 0.6 tasks on two processors force one split.
+  const TaskSet tasks = TaskSet::from_pairs({{600, 1000}, {606, 1010}, {612, 1020}});
+  const Assignment a = EdfSplit().partition(tasks, 2);
+  ASSERT_TRUE(a.success) << a.describe();
+  EXPECT_EQ(a.split_task_count(), 1u);
+  // Window invariant: each split chain's windows fit in the period.
+  for (const auto& [id, chain] : testing::chains_of(a)) {
+    Time window_sum = 0;
+    for (const auto& part : chain) window_sum += part.subtask.deadline;
+    const Task* task = nullptr;
+    for (const Task& t : tasks) {
+      if (t.id == id) {
+        task = &t;
+      }
+    }
+    ASSERT_NE(task, nullptr);
+    if (chain.size() > 1) {
+      EXPECT_LE(window_sum, task->period);
+    }
+  }
+}
+
+TEST(EdfSplit, FailsGracefullyWhenOverloaded) {
+  const TaskSet tasks = TaskSet::from_pairs({{900, 1000}, {900, 1000}, {900, 1000}});
+  const Assignment a = EdfSplit().partition(tasks, 2);
+  EXPECT_FALSE(a.success);
+  EXPECT_FALSE(a.unassigned.empty());
+}
+
+TEST(EdfSplit, BeatsStrictPartitionedEdfOnTightPacking) {
+  // 0.6/0.6/0.6 on 2 processors: impossible without splitting.
+  const TaskSet tasks = TaskSet::from_pairs({{600, 1000}, {606, 1010}, {612, 1020}});
+  EXPECT_TRUE(EdfSplit().accepts(tasks, 2));
+}
+
+
+TEST(EdfSplit, FailedSplitLeavesProcessorsUnchanged) {
+  // Overload: the third 0.9 task cannot be placed even with splitting; the
+  // staged pieces must not be committed, so the first two processors carry
+  // exactly their whole tasks afterwards.
+  const TaskSet tasks = TaskSet::from_pairs({{900, 1000}, {905, 1005}, {910, 1010}});
+  const Assignment a = EdfSplit().partition(tasks, 2);
+  ASSERT_FALSE(a.success);
+  ASSERT_EQ(a.unassigned.size(), 1u);
+  EXPECT_EQ(a.processors[0].subtasks.size(), 1u);
+  EXPECT_EQ(a.processors[1].subtasks.size(), 1u);
+  for (const auto& processor : a.processors) {
+    for (const Subtask& s : processor.subtasks) {
+      EXPECT_EQ(s.kind, SubtaskKind::kWhole);
+    }
+  }
+}
+
+TEST(EdfSplit, PieceWindowsArePositive) {
+  Rng rng(6003);
+  for (int trial = 0; trial < 40; ++trial) {
+    WorkloadConfig config;
+    config.tasks = 10;
+    config.processors = 3;
+    config.max_task_utilization = 0.8;
+    config.normalized_utilization = 0.85;
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    const Assignment a = EdfSplit().partition(tasks, 3);
+    for (const auto& processor : a.processors) {
+      for (const Subtask& s : processor.subtasks) {
+        EXPECT_GT(s.deadline, 0);
+        EXPECT_GE(s.deadline, s.wcet);
+        EXPECT_LE(s.deadline, s.period);
+      }
+    }
+  }
+}
+
+TEST(EdfSplit, AcceptedPartitionsRunCleanUnderEdfSimulation) {
+  Rng rng(6002);
+  int validated = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    WorkloadConfig config;
+    config.tasks = 12;
+    config.processors = 3;
+    config.period_model = PeriodModel::kGrid;
+    config.period_grid = small_hyperperiod_grid();
+    config.max_task_utilization = 0.8;
+    config.normalized_utilization = 0.55 + 0.40 * (trial % 10) / 10.0;
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    const Assignment a = EdfSplit().partition(tasks, 3);
+    if (!a.success) continue;
+    ++validated;
+    SimConfig sim;
+    sim.horizon = recommended_horizon(tasks, 1'000'000);
+    sim.policy = DispatchPolicy::kEarliestDeadlineFirst;
+    const SimResult run = simulate(tasks, a, sim);
+    EXPECT_TRUE(run.schedulable)
+        << "trial " << trial << "\n" << tasks.describe() << a.describe();
+  }
+  EXPECT_GT(validated, 40);
+}
+
+TEST(EdfSimulation, WindowActivationDefersSecondPiece) {
+  // tau_0 = (40,100) split into two 20-tick pieces with windows 50 + 50.
+  // The second piece must not start before t = 50 even though the first
+  // finishes at t = 20 and P2 idles.
+  const TaskSet tasks = TaskSet::from_pairs({{40, 100}});
+  Assignment a;
+  a.success = true;
+  a.processors.resize(2);
+  a.processors[0].subtasks = {
+      Subtask{0, 0, 0, 20, 100, 50, SubtaskKind::kBody}};
+  a.processors[1].subtasks = {
+      Subtask{0, 0, 1, 20, 100, 50, SubtaskKind::kTail}};
+  SimConfig sim;
+  sim.horizon = 100;
+  sim.policy = DispatchPolicy::kEarliestDeadlineFirst;
+  const SimResult run = simulate(tasks, a, sim);
+  EXPECT_TRUE(run.schedulable);
+  // P2 busy exactly [50, 70): total 20 ticks; if activation were eager it
+  // would also be 20 -- so check the job's response instead: 70 - 0 = 70.
+  EXPECT_EQ(run.max_response[0], 70);
+}
+
+TEST(EdfSimulation, WindowsBeyondPeriodRejected) {
+  const TaskSet tasks = TaskSet::from_pairs({{40, 100}});
+  Assignment a;
+  a.success = true;
+  a.processors.resize(2);
+  a.processors[0].subtasks = {Subtask{0, 0, 0, 20, 100, 80, SubtaskKind::kBody}};
+  a.processors[1].subtasks = {Subtask{0, 0, 1, 20, 100, 30, SubtaskKind::kTail}};
+  SimConfig sim;
+  sim.horizon = 100;
+  sim.policy = DispatchPolicy::kEarliestDeadlineFirst;
+  EXPECT_THROW((void)simulate(tasks, a, sim), InvalidConfigError);
+}
+
+TEST(EdfSimulation, DispatchesByAbsoluteDeadline) {
+  // Two implicit-deadline tasks on one processor; EDF runs the shorter-
+  // deadline job first even though FP rank order agrees here -- check the
+  // preemption profile differs from a rank-inverted FP setup.
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}, {60, 120}});
+  Assignment a;
+  a.success = true;
+  a.processors.resize(1);
+  a.processors[0].subtasks = {whole_subtask(tasks[0], 0), whole_subtask(tasks[1], 1)};
+  SimConfig sim;
+  sim.horizon = 600;  // lcm(100,120) = 600
+  sim.policy = DispatchPolicy::kEarliestDeadlineFirst;
+  const SimResult run = simulate(tasks, a, sim);
+  EXPECT_TRUE(run.schedulable);
+  EXPECT_EQ(run.busy_time[0], 6 * 30 + 5 * 60);
+}
+
+}  // namespace
+}  // namespace rmts

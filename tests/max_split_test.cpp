@@ -1,0 +1,221 @@
+// MaxSplit (Definition 3): hand-computed values, the bottleneck property
+// (Definition 2), and equivalence of the binary-search and
+// scheduling-point implementations on randomized processors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "partition/max_split.hpp"
+#include "partition/processor_state.hpp"
+
+namespace rmts {
+namespace {
+
+constexpr auto kBinary = MaxSplitMethod::kBinarySearch;
+constexpr auto kPoints = MaxSplitMethod::kSchedulingPoints;
+
+Subtask make_subtask(std::size_t priority, Time wcet, Time period,
+                     Time deadline = 0) {
+  return Subtask{priority,
+                 static_cast<TaskId>(priority),
+                 0,
+                 wcet,
+                 period,
+                 deadline == 0 ? period : deadline,
+                 SubtaskKind::kWhole};
+}
+
+TEST(MaxSplit, EmptyProcessorGivesFullBudget) {
+  const ProcessorState empty;
+  const Subtask candidate = make_subtask(3, 80, 100);
+  EXPECT_EQ(max_admissible_wcet(empty, candidate, kBinary), 80);
+  EXPECT_EQ(max_admissible_wcet(empty, candidate, kPoints), 80);
+}
+
+TEST(MaxSplit, EmptyProcessorCappedByDeadline) {
+  const ProcessorState empty;
+  const Subtask candidate = make_subtask(3, 90, 100, 40);  // Delta = 40 < C
+  EXPECT_EQ(max_admissible_wcet(empty, candidate, kBinary), 40);
+  EXPECT_EQ(max_admissible_wcet(empty, candidate, kPoints), 40);
+}
+
+// Hand example: hosted (C=50, T=100); candidate period 40.  Testing points
+// {40, 80, 100}: max floor((t - 50) / ceil(t/40)) = max(-, 15, 16) = 16.
+TEST(MaxSplit, HandComputedValue) {
+  ProcessorState processor;
+  processor.add(make_subtask(5, 50, 100));
+  const Subtask candidate = make_subtask(2, 40, 40);
+  EXPECT_EQ(max_admissible_wcet(processor, candidate, kBinary), 16);
+  EXPECT_EQ(max_admissible_wcet(processor, candidate, kPoints), 16);
+}
+
+TEST(MaxSplit, ZeroWhenNothingFits) {
+  ProcessorState processor;
+  processor.add(make_subtask(5, 100, 100));  // fully loaded
+  const Subtask candidate = make_subtask(2, 10, 50);
+  EXPECT_EQ(max_admissible_wcet(processor, candidate, kBinary), 0);
+  EXPECT_EQ(max_admissible_wcet(processor, candidate, kPoints), 0);
+}
+
+TEST(MaxSplit, NonPositiveDeadlineYieldsZero) {
+  const ProcessorState empty;
+  Subtask candidate = make_subtask(2, 10, 50);
+  candidate.deadline = 0;
+  EXPECT_EQ(max_admissible_wcet(empty, candidate, kBinary), 0);
+  candidate.deadline = -5;
+  EXPECT_EQ(max_admissible_wcet(empty, candidate, kPoints), 0);
+}
+
+TEST(MaxSplit, CandidateOwnDeadlineWithInterference) {
+  // hp (C=20, T=100) above the candidate; candidate D=60 -> self budget 40.
+  ProcessorState processor;
+  processor.add(make_subtask(1, 20, 100));
+  const Subtask candidate = make_subtask(4, 100, 100, 60);
+  EXPECT_EQ(max_admissible_wcet(processor, candidate, kBinary), 40);
+  EXPECT_EQ(max_admissible_wcet(processor, candidate, kPoints), 40);
+}
+
+TEST(MaxSplit, MidPriorityCandidateConstrainedBothWays) {
+  // hp (10, 50) interferes with the candidate; lp (30, 200) is interfered
+  // by it.  Both constraints must hold simultaneously.
+  ProcessorState processor;
+  processor.add(make_subtask(0, 10, 50));
+  processor.add(make_subtask(9, 30, 200));
+  const Subtask candidate = make_subtask(4, 70, 70);
+  const Time budget = max_admissible_wcet(processor, candidate, kPoints);
+  EXPECT_EQ(max_admissible_wcet(processor, candidate, kBinary), budget);
+  ASSERT_GT(budget, 0);
+  ASSERT_LT(budget, 70);
+  Subtask fitted = candidate;
+  fitted.wcet = budget;
+  EXPECT_TRUE(processor.fits(fitted));
+  fitted.wcet = budget + 1;
+  EXPECT_FALSE(processor.fits(fitted));
+}
+
+// Randomized equivalence + bottleneck property: both implementations agree,
+// the result fits, and one more tick does not (Definition 2's bottleneck).
+TEST(MaxSplit, MethodsAgreeAndLeaveBottleneck) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 1000; ++trial) {
+    ProcessorState processor;
+    const int hosted = static_cast<int>(rng.uniform_int(0, 5));
+    // Hosted subtasks with distinct priorities in 1..40; keep the load
+    // moderate so some (but not all) candidates fit.
+    std::vector<std::size_t> priorities;
+    for (int i = 0; i < hosted; ++i) {
+      std::size_t priority;
+      do {
+        priority = static_cast<std::size_t>(rng.uniform_int(1, 40));
+      } while (std::find(priorities.begin(), priorities.end(), priority) !=
+               priorities.end());
+      priorities.push_back(priority);
+      const Time period = rng.uniform_int(20, 300);
+      Subtask s = make_subtask(priority, rng.uniform_int(1, period / 3), period);
+      if (rng.uniform() < 0.3) {
+        s.deadline = rng.uniform_int(s.wcet, period);  // synthetic deadline
+        s.kind = SubtaskKind::kTail;
+      }
+      if (!processor.fits(s)) continue;  // keep the invariant: schedulable
+      processor.add(s);
+    }
+    std::size_t cand_priority;
+    do {
+      cand_priority = static_cast<std::size_t>(rng.uniform_int(0, 41));
+    } while (std::find(priorities.begin(), priorities.end(), cand_priority) !=
+             priorities.end());
+    const Time period = rng.uniform_int(20, 300);
+    Subtask candidate = make_subtask(cand_priority, rng.uniform_int(1, period), period);
+    if (rng.uniform() < 0.3) {
+      candidate.deadline = rng.uniform_int(1, period);
+    }
+
+    const Time via_binary = max_admissible_wcet(processor, candidate, kBinary);
+    const Time via_points = max_admissible_wcet(processor, candidate, kPoints);
+    ASSERT_EQ(via_binary, via_points) << "trial " << trial;
+
+    if (via_binary > 0) {
+      Subtask fitted = candidate;
+      fitted.wcet = via_binary;
+      EXPECT_TRUE(processor.fits(fitted)) << "trial " << trial;
+    }
+    if (via_binary < candidate.wcet) {
+      Subtask over = candidate;
+      over.wcet = via_binary + 1;
+      EXPECT_FALSE(processor.fits(over)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MaxSplit, MonotoneInHostedLoad) {
+  // Adding load to the processor can only shrink the admissible budget.
+  ProcessorState light;
+  light.add(make_subtask(5, 20, 100));
+  ProcessorState heavy = light;
+  heavy.add(make_subtask(7, 30, 150));
+  const Subtask candidate = make_subtask(2, 60, 60);
+  EXPECT_GE(max_admissible_wcet(light, candidate, kPoints),
+            max_admissible_wcet(heavy, candidate, kPoints));
+}
+
+TEST(ProcessorState, AddMaintainsPriorityOrderAndUtilization) {
+  ProcessorState processor;
+  processor.add(make_subtask(5, 10, 100));
+  processor.add(make_subtask(1, 10, 50));
+  processor.add(make_subtask(9, 10, 200));
+  ASSERT_EQ(processor.subtasks().size(), 3u);
+  EXPECT_EQ(processor.subtasks()[0].priority, 1u);
+  EXPECT_EQ(processor.subtasks()[1].priority, 5u);
+  EXPECT_EQ(processor.subtasks()[2].priority, 9u);
+  EXPECT_NEAR(processor.utilization(), 0.1 + 0.2 + 0.05, 1e-12);
+}
+
+TEST(ProcessorState, FitsMatchesFullReanalysis) {
+  Rng rng(55);
+  for (int trial = 0; trial < 500; ++trial) {
+    ProcessorState processor;
+    std::vector<Subtask> all;
+    for (int i = 0; i < 4; ++i) {
+      const Time period = rng.uniform_int(20, 200);
+      Subtask s = make_subtask(static_cast<std::size_t>(i * 2 + 1),
+                               rng.uniform_int(1, period / 4), period);
+      if (processor.fits(s)) {
+        processor.add(s);
+        all.push_back(s);
+      }
+    }
+    const Time period = rng.uniform_int(20, 200);
+    const Subtask candidate =
+        make_subtask(static_cast<std::size_t>(rng.uniform_int(0, 4)) * 2,
+                     rng.uniform_int(1, period), period);
+    // Reference: full re-analysis of the merged, sorted list.
+    std::vector<Subtask> merged = all;
+    merged.push_back(candidate);
+    std::sort(merged.begin(), merged.end(),
+              [](const Subtask& a, const Subtask& b) { return a.priority < b.priority; });
+    EXPECT_EQ(processor.fits(candidate), processor_schedulable(merged))
+        << "trial " << trial;
+  }
+}
+
+TEST(ProcessorState, ResponseTimeOfMatchesAnalyzeProcessor) {
+  ProcessorState processor;
+  processor.add(make_subtask(1, 20, 100));
+  processor.add(make_subtask(4, 40, 150));
+  const ProcessorRta rta = analyze_processor(processor.subtasks());
+  ASSERT_TRUE(rta.schedulable);
+  EXPECT_EQ(processor.response_time_of(0), rta.response[0]);
+  EXPECT_EQ(processor.response_time_of(1), rta.response[1]);
+}
+
+TEST(ProcessorState, FullFlag) {
+  ProcessorState processor;
+  EXPECT_FALSE(processor.full());
+  processor.mark_full();
+  EXPECT_TRUE(processor.full());
+}
+
+}  // namespace
+}  // namespace rmts

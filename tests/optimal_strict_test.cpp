@@ -1,0 +1,112 @@
+// The exhaustive optimal strict partitioner: correctness, dominance over
+// the FFD heuristic, and its relationship to splitting.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "partition/baselines.hpp"
+#include "partition/optimal_strict.hpp"
+#include "partition/rmts_light.hpp"
+#include "workload/generators.hpp"
+
+namespace rmts {
+namespace {
+
+TEST(OptimalStrict, Name) { EXPECT_EQ(OptimalStrictRm().name(), "OPT-strict"); }
+
+TEST(OptimalStrict, SolvesBinPackingAnomalyFfdMisses) {
+  // Classic FFD anomaly {0.4, 0.4, 0.3 x4} on 2 unit bins: FFD stacks both
+  // 0.4s (0.8) and can then place only three of the four 0.3s; the optimal
+  // partition {0.4+0.3+0.3 | 0.4+0.3+0.3} packs both to exactly 1.
+  const TaskSet tasks = TaskSet::from_pairs({{400, 1000},
+                                             {400, 1000},
+                                             {300, 1000},
+                                             {300, 1000},
+                                             {300, 1000},
+                                             {300, 1000}});
+  const PartitionedRm ffd(FitPolicy::kFirstFit, TaskOrder::kDecreasingUtilization,
+                          Admission::kExactRta);
+  EXPECT_FALSE(ffd.accepts(tasks, 2));
+  const Assignment optimal = OptimalStrictRm().partition(tasks, 2);
+  ASSERT_TRUE(optimal.success) << optimal.describe();
+  EXPECT_EQ(optimal.split_task_count(), 0u);
+  testing::expect_valid_partition(tasks, optimal);
+}
+
+TEST(OptimalStrict, CannotBeatSplitting) {
+  // Three 0.6 tasks on two processors: no strict partition exists at all,
+  // but splitting handles it (the paper's motivating configuration).
+  const TaskSet tasks = TaskSet::from_pairs({{600, 1000}, {606, 1010}, {612, 1020}});
+  EXPECT_FALSE(OptimalStrictRm().accepts(tasks, 2));
+  EXPECT_TRUE(RmtsLight().accepts(tasks, 2));
+}
+
+TEST(OptimalStrict, DominatesEveryBinPackingHeuristic) {
+  Rng rng(1500);
+  const OptimalStrictRm optimal;
+  const PartitionedRm ffd(FitPolicy::kFirstFit, TaskOrder::kDecreasingUtilization,
+                          Admission::kExactRta);
+  const PartitionedRm bfd(FitPolicy::kBestFit, TaskOrder::kDecreasingUtilization,
+                          Admission::kExactRta);
+  const PartitionedRm wfd(FitPolicy::kWorstFit, TaskOrder::kDecreasingUtilization,
+                          Admission::kExactRta);
+  int optimal_accepted = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    WorkloadConfig config;
+    config.tasks = 8;
+    config.processors = 3;
+    config.max_task_utilization = 0.8;
+    config.normalized_utilization = 0.6 + 0.38 * (trial % 10) / 10.0;
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    const bool opt = optimal.accepts(tasks, 3);
+    optimal_accepted += opt;
+    // Heuristic accepted => a feasible strict partition exists => the
+    // exhaustive search must find one.
+    if (ffd.accepts(tasks, 3)) {
+      EXPECT_TRUE(opt) << tasks.describe();
+    }
+    if (bfd.accepts(tasks, 3)) {
+      EXPECT_TRUE(opt) << tasks.describe();
+    }
+    if (wfd.accepts(tasks, 3)) {
+      EXPECT_TRUE(opt) << tasks.describe();
+    }
+  }
+  EXPECT_GT(optimal_accepted, 50);
+}
+
+TEST(OptimalStrict, AcceptedPartitionsRunClean) {
+  Rng rng(1501);
+  int validated = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    WorkloadConfig config;
+    config.tasks = 8;
+    config.processors = 3;
+    config.period_model = PeriodModel::kGrid;
+    config.period_grid = small_hyperperiod_grid();
+    config.max_task_utilization = 0.8;
+    config.normalized_utilization = 0.65 + 0.3 * (trial % 8) / 8.0;
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    const Assignment a = OptimalStrictRm().partition(tasks, 3);
+    if (!a.success) continue;
+    ++validated;
+    testing::expect_simulation_clean(tasks, a);
+  }
+  EXPECT_GT(validated, 15);
+}
+
+TEST(OptimalStrict, FailureListsAllTasks) {
+  const TaskSet tasks = TaskSet::from_pairs({{900, 1000}, {900, 1000}, {900, 1000}});
+  const Assignment a = OptimalStrictRm().partition(tasks, 2);
+  EXPECT_FALSE(a.success);
+  EXPECT_EQ(a.unassigned.size(), 3u);
+}
+
+TEST(OptimalStrict, EmptySetTrivial) {
+  EXPECT_TRUE(OptimalStrictRm().partition(TaskSet(), 2).success);
+}
+
+}  // namespace
+}  // namespace rmts

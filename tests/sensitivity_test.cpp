@@ -1,0 +1,184 @@
+// Sensitivity analysis queries and the exhaustive small-case exactness
+// check tying RTA to the simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/sensitivity.hpp"
+#include "bounds/ll_bound.hpp"
+#include "common/error.hpp"
+#include "partition/rmts.hpp"
+#include "partition/rmts_light.hpp"
+#include "rta/rta.hpp"
+#include "sim/simulator.hpp"
+
+namespace rmts {
+namespace {
+
+/// Closed-form stand-in with a known acceptance region.
+class ThresholdTest final : public SchedulabilityTest {
+ public:
+  explicit ThresholdTest(double threshold) : threshold_(threshold) {}
+  [[nodiscard]] bool accepts(const TaskSet& tasks,
+                             std::size_t processors) const override {
+    return tasks.normalized_utilization(processors) <= threshold_;
+  }
+  [[nodiscard]] std::string name() const override { return "threshold"; }
+
+ private:
+  double threshold_;
+};
+
+TEST(MinProcessors, FindsSmallestAcceptingCount) {
+  const TaskSet tasks = TaskSet::from_pairs(
+      {{500, 1000}, {500, 1000}, {500, 1000}, {500, 1000}});  // U = 2.0
+  const ThresholdTest test(0.7);  // needs U/M <= 0.7 -> M >= 2.857 -> 3
+  EXPECT_EQ(min_processors(test, tasks, 8), 3u);
+}
+
+TEST(MinProcessors, ZeroWhenNothingWorks) {
+  // A task with U > max-per-task capability: no processor count helps
+  // a test keyed on the largest single task.
+  class MaxUtilizationTest final : public SchedulabilityTest {
+   public:
+    [[nodiscard]] bool accepts(const TaskSet& tasks, std::size_t) const override {
+      return tasks.max_utilization() <= 0.5;
+    }
+    [[nodiscard]] std::string name() const override { return "max-u"; }
+  };
+  const TaskSet tasks = TaskSet::from_pairs({{900, 1000}});
+  EXPECT_EQ(min_processors(MaxUtilizationTest(), tasks, 4), 0u);
+}
+
+TEST(MinProcessors, RealAlgorithm) {
+  // Three 0.6-utilization tasks: strict bound says ceil(1.8) = 2 with
+  // splitting; RM-TS/light indeed needs exactly 2.
+  const TaskSet tasks = TaskSet::from_pairs({{600, 1000}, {606, 1010}, {612, 1020}});
+  const RmtsLight algorithm;
+  EXPECT_EQ(min_processors(algorithm, tasks, 4), 2u);
+}
+
+TEST(WcetHeadroom, ThresholdTestClosedForm) {
+  // Two tasks of U = 0.3 on one processor, threshold 0.9: each task can
+  // grow to U = 0.6, i.e. wcet 600.
+  const TaskSet tasks = TaskSet::from_pairs({{300, 1000}, {300, 1000}});
+  const ThresholdTest test(0.9);
+  const std::vector<Time> headroom = wcet_headroom(test, tasks, 1);
+  ASSERT_EQ(headroom.size(), 2u);
+  EXPECT_EQ(headroom[0], 600);
+  EXPECT_EQ(headroom[1], 600);
+}
+
+TEST(WcetHeadroom, UniprocessorRtaMatchesMaxSplitStyleSlack) {
+  // (200, 1000) and (300, 1500) on one processor under RM-TS/light (M=1 ==
+  // exact uniprocessor RTA).  tau_0's headroom: largest C with
+  // C + interference schedulable; hand computation: tau_1 needs
+  // 300 + 2C <= 1500 at t=1500... testing points for tau_1: {1000, 1500}:
+  // t=1000: 1000-300 = 700; t=1500: (1500-300)/2 = 600 -> 700.
+  const TaskSet tasks = TaskSet::from_pairs({{200, 1000}, {300, 1500}});
+  const RmtsLight algorithm;
+  const std::vector<Time> headroom = wcet_headroom(algorithm, tasks, 1);
+  EXPECT_EQ(headroom[0], 700);
+  // tau_1 keeps the processor exactly full: 300 -> 1500 - 2*200*... its
+  // response 200*ceil(R/1000)+C <= 1500: C = 1100 gives R = 1500.
+  EXPECT_EQ(headroom[1], 1100);
+}
+
+TEST(WcetHeadroom, RequiresAcceptedBase) {
+  const TaskSet tasks = TaskSet::from_pairs({{900, 1000}, {900, 1000}});
+  const RmtsLight algorithm;
+  EXPECT_THROW((void)wcet_headroom(algorithm, tasks, 1), InvalidConfigError);
+}
+
+TEST(CriticalScalingFactor, ThresholdClosedForm) {
+  // U_M = 0.3, threshold 0.6 -> factor ~2.0.
+  const TaskSet tasks = TaskSet::from_pairs({{300, 1000}});
+  const ThresholdTest test(0.6);
+  EXPECT_NEAR(critical_scaling_factor(test, tasks, 1, 0.1, 4.0), 2.0, 0.01);
+}
+
+TEST(CriticalScalingFactor, EdgesAndValidation) {
+  const TaskSet tasks = TaskSet::from_pairs({{300, 1000}});
+  const ThresholdTest nothing(0.01);
+  EXPECT_DOUBLE_EQ(critical_scaling_factor(nothing, tasks, 1), 0.0);
+  const ThresholdTest everything(10.0);
+  EXPECT_DOUBLE_EQ(critical_scaling_factor(everything, tasks, 1, 0.1, 3.0), 3.0);
+  EXPECT_THROW((void)critical_scaling_factor(everything, tasks, 1, 0.0, 1.0),
+               InvalidConfigError);
+}
+
+// Exhaustive exactness: over ALL two-task sets on a small parameter grid,
+// uniprocessor RTA says schedulable iff the synchronous periodic
+// simulation over two hyperperiods is miss-free.  (The critical-instant
+// theorem makes the synchronous case worst, so equivalence -- not just
+// one-sided soundness -- must hold.)
+TEST(Exhaustive, RtaMatchesSimulationOnAllSmallPairs) {
+  const Time periods[] = {4, 6, 8, 12};
+  int checked = 0;
+  int schedulable_count = 0;
+  for (const Time t1 : periods) {
+    for (const Time t2 : periods) {
+      if (t2 < t1) continue;
+      for (Time c1 = 1; c1 <= t1; ++c1) {
+        for (Time c2 = 1; c2 <= t2; ++c2) {
+          const TaskSet tasks =
+              TaskSet::from_pairs({{c1, t1}, {c2, t2}});
+          const bool rta = rm_schedulable_uniprocessor(tasks);
+
+          Assignment a;
+          a.success = true;
+          a.processors.resize(1);
+          a.processors[0].subtasks = {whole_subtask(tasks[0], 0),
+                                      whole_subtask(tasks[1], 1)};
+          SimConfig sim;
+          sim.horizon = recommended_horizon(tasks, 1000);
+          const bool simulated = simulate(tasks, a, sim).schedulable;
+          ASSERT_EQ(rta, simulated)
+              << "(" << c1 << "," << t1 << ") (" << c2 << "," << t2 << ")";
+          ++checked;
+          schedulable_count += rta;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 400);
+  EXPECT_GT(schedulable_count, 50);
+  EXPECT_LT(schedulable_count, checked);
+}
+
+// Same idea, three tasks, sparser grid.
+TEST(Exhaustive, RtaMatchesSimulationOnSmallTriples) {
+  const Time periods[] = {4, 8, 16};
+  int checked = 0;
+  for (const Time t1 : periods) {
+    for (const Time t2 : periods) {
+      for (const Time t3 : periods) {
+        if (t2 < t1 || t3 < t2) continue;
+        for (Time c1 = 1; c1 <= t1; c1 += 1) {
+          for (Time c2 = 1; c2 <= t2; c2 += 2) {
+            for (Time c3 = 1; c3 <= t3; c3 += 3) {
+              const TaskSet tasks =
+                  TaskSet::from_pairs({{c1, t1}, {c2, t2}, {c3, t3}});
+              const bool rta = rm_schedulable_uniprocessor(tasks);
+              Assignment a;
+              a.success = true;
+              a.processors.resize(1);
+              a.processors[0].subtasks = {whole_subtask(tasks[0], 0),
+                                          whole_subtask(tasks[1], 1),
+                                          whole_subtask(tasks[2], 2)};
+              SimConfig sim;
+              sim.horizon = recommended_horizon(tasks, 1000);
+              ASSERT_EQ(rta, simulate(tasks, a, sim).schedulable)
+                  << tasks.describe();
+              ++checked;
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 1000);
+}
+
+}  // namespace
+}  // namespace rmts

@@ -1,0 +1,162 @@
+// SPA1 / SPA2 (the RTAS 2010 baselines): threshold admission, threshold
+// splitting, pre-assignment, and their utilization-bound theorems.
+#include <gtest/gtest.h>
+
+#include "bounds/bound.hpp"
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "partition/spa.hpp"
+#include "workload/generators.hpp"
+
+namespace rmts {
+namespace {
+
+TEST(Spa, Names) {
+  EXPECT_EQ(Spa1().name(), "SPA1");
+  EXPECT_EQ(Spa2().name(), "SPA2");
+}
+
+TEST(Spa1, NoProcessorExceedsTheta) {
+  Rng rng(42);
+  WorkloadConfig config;
+  config.tasks = 12;
+  config.processors = 4;
+  config.max_task_utilization = 0.4;
+  const double theta = liu_layland_theta(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    config.normalized_utilization = 0.3 + 0.6 * rng.uniform();
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    const Assignment a = Spa1().partition(tasks, config.processors);
+    for (const auto& processor : a.processors) {
+      EXPECT_LE(processor.utilization(), theta + 1e-6);
+    }
+  }
+}
+
+TEST(Spa1, AcceptsLightSetsUpToTheta) {
+  // The RTAS'10 theorem: light task sets with U_M <= Theta(N) are accepted.
+  Rng rng(43);
+  WorkloadConfig config;
+  config.tasks = 16;
+  config.processors = 4;
+  config.max_task_utilization = light_task_threshold(16);
+  const double theta = liu_layland_theta(16);
+  for (int trial = 0; trial < 100; ++trial) {
+    config.normalized_utilization = 0.3 + (theta - 0.31) * rng.uniform();
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    if (tasks.normalized_utilization(4) > theta - 0.005) continue;  // margin
+    EXPECT_TRUE(Spa1().accepts(tasks, 4)) << tasks.describe();
+  }
+}
+
+TEST(Spa1, NeverAcceptsMuchBeyondItsBound) {
+  // The flip side of threshold admission (the paper's Section I critique):
+  // per-processor utilization is capped at Theta, so acceptance requires
+  // U_M <= Theta (up to the one still-open processor's slack).
+  Rng rng(44);
+  WorkloadConfig config;
+  config.tasks = 16;
+  config.processors = 4;
+  config.max_task_utilization = 0.4;
+  config.normalized_utilization = 0.80;  // far above Theta(16) = 0.71
+  int accepted = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    accepted += Spa1().accepts(tasks, 4);
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(Spa1, SplitBookkeepingFollowsLemma3) {
+  // Force a split: three half-utilization tasks on two processors.
+  const TaskSet tasks = TaskSet::from_pairs({{450, 1000}, {455, 1010}, {459, 1020}});
+  const Assignment a = Spa1().partition(tasks, 2);
+  ASSERT_TRUE(a.success) << a.describe();
+  EXPECT_GE(a.split_task_count(), 1u);
+  testing::expect_valid_partition(tasks, a, /*check_rta=*/true,
+                                  /*check_body_top_priority=*/true,
+                                  /*deadline_by_body_wcet=*/true);
+}
+
+TEST(Spa1, FailureReportsUnassigned) {
+  const TaskSet tasks = TaskSet::from_pairs({{900, 1000}, {900, 1000}});
+  const Assignment a = Spa1().partition(tasks, 1);
+  EXPECT_FALSE(a.success);
+  EXPECT_FALSE(a.unassigned.empty());
+}
+
+TEST(Spa2, AcceptsAnySetUpToTheta) {
+  // SPA2's theorem covers heavy tasks as well.
+  Rng rng(45);
+  WorkloadConfig config;
+  config.tasks = 12;
+  config.processors = 4;
+  config.max_task_utilization = 0.9;
+  const double theta = liu_layland_theta(12);
+  int exercised = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    config.normalized_utilization = 0.3 + (theta - 0.3) * rng.uniform();
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    if (tasks.normalized_utilization(4) > theta - 0.005) continue;
+    ++exercised;
+    EXPECT_TRUE(Spa2().accepts(tasks, 4)) << tasks.describe();
+  }
+  EXPECT_GT(exercised, 100);
+}
+
+TEST(Spa2, MatchesSpa1OnLightSets) {
+  // No heavy tasks -> no pre-assignment -> SPA2 == SPA1.
+  Rng rng(46);
+  WorkloadConfig config;
+  config.tasks = 12;
+  config.processors = 3;
+  config.max_task_utilization = light_task_threshold(12);
+  for (int trial = 0; trial < 40; ++trial) {
+    config.normalized_utilization = 0.35 + 0.4 * rng.uniform();
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    const Assignment a = Spa1().partition(tasks, 3);
+    const Assignment b = Spa2().partition(tasks, 3);
+    ASSERT_EQ(a.success, b.success);
+    for (std::size_t q = 0; q < a.processors.size(); ++q) {
+      EXPECT_EQ(a.processors[q].subtasks, b.processors[q].subtasks);
+    }
+  }
+}
+
+TEST(Spa2, PreAssignedHeavyTaskSitsAloneInitially) {
+  // Same scenario as the RM-TS pre-assignment test; SPA2 must also keep
+  // the qualifying heavy task unsplit.
+  const TaskSet tasks = TaskSet::from_pairs(
+      {{800, 1000}, {200, 2000}, {200, 2000}, {200, 2000}});
+  const Assignment a = Spa2().partition(tasks, 2);
+  ASSERT_TRUE(a.success) << a.describe();
+  EXPECT_EQ(testing::chains_of(a).at(0).size(), 1u);
+}
+
+TEST(Spa2, AcceptanceNeverBelowSpa1) {
+  // Pre-assignment only helps: on sets SPA1 handles, SPA2 should not do
+  // worse (statistically; exercised over a mixed population).
+  Rng rng(47);
+  WorkloadConfig config;
+  config.tasks = 12;
+  config.processors = 4;
+  config.max_task_utilization = 0.8;
+  int spa1_accepted = 0;
+  int spa2_accepted = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    config.normalized_utilization = 0.5 + 0.25 * rng.uniform();
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    spa1_accepted += Spa1().accepts(tasks, 4);
+    spa2_accepted += Spa2().accepts(tasks, 4);
+  }
+  EXPECT_GE(spa2_accepted, spa1_accepted);
+}
+
+}  // namespace
+}  // namespace rmts

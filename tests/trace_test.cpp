@@ -1,0 +1,120 @@
+// Execution traces and Gantt rendering.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace rmts {
+namespace {
+
+TEST(RenderGantt, CraftedSegments) {
+  // P1: task 0 ('A') for [0,50), idle to 100.  10 columns of 10 ticks.
+  std::vector<TraceEvent> trace{
+      TraceEvent{TraceEvent::Kind::kRun, 0, 0, 0, 0, false},
+      TraceEvent{TraceEvent::Kind::kRun, 50, 0, 0, 0, true},
+  };
+  const std::string chart = render_gantt(trace, 1, 100, 10);
+  EXPECT_NE(chart.find("P1 AAAAA....."), std::string::npos) << chart;
+}
+
+TEST(RenderGantt, SplitPiecesLowercase) {
+  std::vector<TraceEvent> trace{
+      TraceEvent{TraceEvent::Kind::kRun, 0, 0, 2, 1, false},  // part 1 -> 'c'
+  };
+  const std::string chart = render_gantt(trace, 1, 40, 4);
+  EXPECT_NE(chart.find("P1 cccc"), std::string::npos) << chart;
+}
+
+TEST(RenderGantt, DegenerateInputs) {
+  EXPECT_TRUE(render_gantt({}, 0, 100, 10).empty());
+  EXPECT_TRUE(render_gantt({}, 1, 0, 10).empty());
+  EXPECT_TRUE(render_gantt({}, 1, 100, 0).empty());
+  // No events: all idle.
+  const std::string chart = render_gantt({}, 2, 100, 5);
+  EXPECT_NE(chart.find("P1 ....."), std::string::npos);
+  EXPECT_NE(chart.find("P2 ....."), std::string::npos);
+}
+
+TEST(Trace, DisabledByDefault) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}});
+  Assignment a;
+  a.success = true;
+  a.processors.resize(1);
+  a.processors[0].subtasks = {whole_subtask(tasks[0], 0)};
+  SimConfig config;
+  config.horizon = 500;
+  EXPECT_TRUE(simulate(tasks, a, config).trace.empty());
+}
+
+TEST(Trace, RecordsReleasesRunsAndCompletions) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}});
+  Assignment a;
+  a.success = true;
+  a.processors.resize(1);
+  a.processors[0].subtasks = {whole_subtask(tasks[0], 0)};
+  SimConfig config;
+  config.horizon = 200;
+  config.record_trace = true;
+  const SimResult result = simulate(tasks, a, config);
+  int releases = 0;
+  int runs = 0;
+  int completions = 0;
+  Time previous = 0;
+  for (const TraceEvent& event : result.trace) {
+    EXPECT_GE(event.time, previous);  // chronological
+    previous = event.time;
+    switch (event.kind) {
+      case TraceEvent::Kind::kRelease: ++releases; break;
+      case TraceEvent::Kind::kRun: ++runs; break;
+      case TraceEvent::Kind::kComplete: ++completions; break;
+      case TraceEvent::Kind::kMiss: FAIL() << "unexpected miss";
+    }
+  }
+  // Releases at 0, 100, 200; completions at 30, 130; run/idle pairs each
+  // period.
+  EXPECT_EQ(releases, 3);
+  EXPECT_EQ(completions, 2);
+  EXPECT_GE(runs, 4);
+}
+
+TEST(Trace, MissEventEmitted) {
+  const TaskSet tasks = TaskSet::from_pairs({{60, 100}, {50, 100}});
+  Assignment a;
+  a.success = true;
+  a.processors.resize(1);
+  a.processors[0].subtasks = {whole_subtask(tasks[0], 0),
+                              whole_subtask(tasks[1], 1)};
+  SimConfig config;
+  config.horizon = 300;
+  config.record_trace = true;
+  const SimResult result = simulate(tasks, a, config);
+  ASSERT_FALSE(result.schedulable);
+  bool saw_miss = false;
+  for (const TraceEvent& event : result.trace) {
+    saw_miss |= (event.kind == TraceEvent::Kind::kMiss);
+  }
+  EXPECT_TRUE(saw_miss);
+}
+
+TEST(Trace, SplitChainShowsBothProcessors) {
+  const TaskSet tasks = TaskSet::from_pairs({{50, 100}});
+  const Subtask body{0, 0, 0, 20, 100, 100, SubtaskKind::kBody};
+  const Subtask tail{0, 0, 1, 30, 100, 80, SubtaskKind::kTail};
+  Assignment a;
+  a.success = true;
+  a.processors.resize(2);
+  a.processors[0].subtasks = {body};
+  a.processors[1].subtasks = {tail};
+  SimConfig config;
+  config.horizon = 100;
+  config.record_trace = true;
+  const SimResult result = simulate(tasks, a, config);
+  ASSERT_TRUE(result.schedulable);
+  const std::string chart = render_gantt(result.trace, 2, 100, 10);
+  // Part 0 ('A') on P1 for [0,20), part 1 ('a') on P2 for [20,50).
+  EXPECT_NE(chart.find("P1 AA........"), std::string::npos) << chart;
+  EXPECT_NE(chart.find("P2 ..aaa....."), std::string::npos) << chart;
+}
+
+}  // namespace
+}  // namespace rmts

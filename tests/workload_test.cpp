@@ -1,0 +1,213 @@
+// Workload generation: UUniFast statistics, discard bounds, period models,
+// harmonic structure guarantees, and config validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "bounds/harmonic.hpp"
+#include "common/checked_math.hpp"
+#include "common/error.hpp"
+#include "workload/generators.hpp"
+#include "workload/uunifast.hpp"
+
+namespace rmts {
+namespace {
+
+TEST(UUniFast, SumsToTarget) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto u = uunifast(rng, 8, 3.2);
+    EXPECT_NEAR(std::accumulate(u.begin(), u.end(), 0.0), 3.2, 1e-9);
+    for (const double v : u) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  Rng rng(2);
+  const auto u = uunifast(rng, 1, 0.7);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u[0], 0.7);
+}
+
+TEST(UUniFast, RejectsBadArguments) {
+  Rng rng(3);
+  EXPECT_THROW(uunifast(rng, 0, 1.0), InvalidConfigError);
+  EXPECT_THROW(uunifast(rng, 4, 0.0), InvalidConfigError);
+}
+
+TEST(UUniFast, MarginalsAreUnbiased) {
+  // Under UUniFast each task's expected utilization is total/n.
+  Rng rng(4);
+  const int trials = 4000;
+  double first = 0.0;
+  double last = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto u = uunifast(rng, 5, 2.0);
+    first += u.front();
+    last += u.back();
+  }
+  EXPECT_NEAR(first / trials, 0.4, 0.02);
+  EXPECT_NEAR(last / trials, 0.4, 0.02);
+}
+
+TEST(UUniFastDiscard, RespectsPerTaskCap) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto u = uunifast_discard(rng, 8, 3.0, 0.409);
+    EXPECT_NEAR(std::accumulate(u.begin(), u.end(), 0.0), 3.0, 1e-9);
+    for (const double v : u) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 0.409);
+    }
+  }
+}
+
+TEST(UUniFastDiscard, InfeasibleTargetThrows) {
+  Rng rng(6);
+  EXPECT_THROW(uunifast_discard(rng, 4, 3.0, 0.5), InvalidConfigError);
+}
+
+TEST(Generate, TaskCountAndUtilizationTarget) {
+  Rng rng(7);
+  WorkloadConfig config;
+  config.tasks = 20;
+  config.processors = 5;
+  config.normalized_utilization = 0.7;
+  const TaskSet tasks = generate(rng, config);
+  EXPECT_EQ(tasks.size(), 20u);
+  // WCET rounding perturbs the target by well under 1%.
+  EXPECT_NEAR(tasks.normalized_utilization(5), 0.7, 0.01);
+}
+
+TEST(Generate, PeriodsWithinRange) {
+  Rng rng(8);
+  WorkloadConfig config;
+  config.tasks = 50;
+  config.period_min = 2000;
+  config.period_max = 50000;
+  config.normalized_utilization = 0.4;
+  const TaskSet tasks = generate(rng, config);
+  for (const Task& task : tasks) {
+    EXPECT_GE(task.period, 2000);
+    EXPECT_LE(task.period, 50000);
+  }
+}
+
+TEST(Generate, GridModelDrawsFromGrid) {
+  Rng rng(9);
+  WorkloadConfig config;
+  config.tasks = 30;
+  config.period_model = PeriodModel::kGrid;
+  config.period_grid = small_hyperperiod_grid();
+  const TaskSet tasks = generate(rng, config);
+  for (const Task& task : tasks) {
+    EXPECT_NE(std::find(config.period_grid.begin(), config.period_grid.end(),
+                        task.period),
+              config.period_grid.end());
+  }
+}
+
+TEST(Generate, GridModelWithoutGridThrows) {
+  Rng rng(10);
+  WorkloadConfig config;
+  config.period_model = PeriodModel::kGrid;
+  EXPECT_THROW(generate(rng, config), InvalidConfigError);
+}
+
+TEST(Generate, HarmonicModelYieldsHarmonicSets) {
+  Rng rng(11);
+  WorkloadConfig config;
+  config.tasks = 10;
+  config.period_model = PeriodModel::kHarmonic;
+  for (int trial = 0; trial < 50; ++trial) {
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    EXPECT_TRUE(tasks.is_harmonic()) << tasks.describe();
+  }
+}
+
+TEST(Generate, HarmonicChainsModelYieldsExactChainCount) {
+  Rng rng(12);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    WorkloadConfig config;
+    config.tasks = 12;
+    config.period_model = PeriodModel::kHarmonicChains;
+    config.harmonic_chains = k;
+    for (int trial = 0; trial < 20; ++trial) {
+      Rng sample = rng.fork(k * 100 + static_cast<std::uint64_t>(trial));
+      const TaskSet tasks = generate(sample, config);
+      EXPECT_EQ(min_harmonic_chains(tasks.periods()), k) << tasks.describe();
+    }
+  }
+}
+
+TEST(Generate, HarmonicChainsValidation) {
+  Rng rng(13);
+  WorkloadConfig config;
+  config.period_model = PeriodModel::kHarmonicChains;
+  config.harmonic_chains = 0;
+  EXPECT_THROW(generate(rng, config), InvalidConfigError);
+  config.harmonic_chains = 9;  // only 8 prime bases available
+  EXPECT_THROW(generate(rng, config), InvalidConfigError);
+  config.harmonic_chains = 5;
+  config.tasks = 3;  // fewer tasks than chains
+  EXPECT_THROW(generate(rng, config), InvalidConfigError);
+}
+
+TEST(Generate, LightConfigurationProducesLightSets) {
+  Rng rng(14);
+  WorkloadConfig config;
+  config.tasks = 16;
+  config.processors = 4;
+  config.normalized_utilization = 0.9;
+  config.max_task_utilization = 0.409;
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng sample = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet tasks = generate(sample, config);
+    // WCET rounding can nudge a utilization past the cap by < 1 tick.
+    EXPECT_TRUE(tasks.all_lighter_than(0.41)) << tasks.describe();
+  }
+}
+
+TEST(Generate, ConfigValidation) {
+  Rng rng(15);
+  WorkloadConfig config;
+  config.tasks = 0;
+  EXPECT_THROW(generate(rng, config), InvalidConfigError);
+  config.tasks = 4;
+  config.processors = 0;
+  EXPECT_THROW(generate(rng, config), InvalidConfigError);
+  config.processors = 2;
+  config.period_min = 0;
+  EXPECT_THROW(generate(rng, config), InvalidConfigError);
+  config.period_min = 100;
+  config.period_max = 50;
+  EXPECT_THROW(generate(rng, config), InvalidConfigError);
+  config.period_min = 1000;
+  config.period_max = 2000;
+  config.normalized_utilization = 0.0;
+  EXPECT_THROW(generate(rng, config), InvalidConfigError);
+}
+
+TEST(Generate, DeterministicGivenSameRngState) {
+  WorkloadConfig config;
+  config.tasks = 10;
+  Rng a(77);
+  Rng b(77);
+  const TaskSet set_a = generate(a, config);
+  const TaskSet set_b = generate(b, config);
+  ASSERT_EQ(set_a.size(), set_b.size());
+  for (std::size_t i = 0; i < set_a.size(); ++i) {
+    EXPECT_EQ(set_a[i], set_b[i]);
+  }
+}
+
+TEST(SmallHyperperiodGrid, LcmIs72000) {
+  const auto grid = small_hyperperiod_grid();
+  EXPECT_EQ(grid.size(), 12u);
+  EXPECT_EQ(hyperperiod(grid), Time{72000});
+}
+
+}  // namespace
+}  // namespace rmts

@@ -1,0 +1,11 @@
+// Command-line front end; all logic lives in io/cli_app.hpp (tested).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/cli_app.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return rmts::run_cli(args, std::cout, std::cerr);
+}

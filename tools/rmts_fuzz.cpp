@@ -1,0 +1,117 @@
+// Time-bounded randomized cross-validation harness ("the fuzzer"):
+// generates random workloads, runs every partitioning algorithm, and
+// checks each accepted assignment against the discrete-event simulator
+// plus the structural invariants.  Exit code 0 iff no violation found.
+//
+//   rmts_fuzz [seconds=10] [seed=1]
+//
+// This is the long-running counterpart of the bounded soundness tests in
+// tests/ -- run it for an hour before a release.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bounds/best_of.hpp"
+#include "bounds/bound.hpp"
+#include "common/rng.hpp"
+#include "partition/baselines.hpp"
+#include "partition/edf_split.hpp"
+#include "partition/rmts.hpp"
+#include "partition/rmts_light.hpp"
+#include "partition/spa.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace rmts;
+
+struct Entry {
+  std::shared_ptr<const Partitioner> algorithm;
+  DispatchPolicy policy;
+  /// Whether accepted => schedulable is claimed unconditionally (exact
+  /// admission) or only within the algorithm's theorem premises (SPA).
+  bool unconditional;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 10.0;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const std::vector<Entry> roster{
+      {std::make_shared<RmtsLight>(), DispatchPolicy::kFixedPriority, true},
+      {std::make_shared<RmtsLight>(MaxSplitMethod::kBinarySearch),
+       DispatchPolicy::kFixedPriority, true},
+      {std::make_shared<RmtsLight>(MaxSplitMethod::kSchedulingPoints,
+                                   SelectionPolicy::kFirstFit),
+       DispatchPolicy::kFixedPriority, true},
+      {std::make_shared<Rmts>(
+           std::make_shared<BestOfBounds>(BestOfBounds::all_known())),
+       DispatchPolicy::kFixedPriority, true},
+      {std::make_shared<Spa2>(), DispatchPolicy::kFixedPriority, false},
+      {std::make_shared<PartitionedRm>(FitPolicy::kFirstFit,
+                                       TaskOrder::kDecreasingUtilization,
+                                       Admission::kExactRta),
+       DispatchPolicy::kFixedPriority, true},
+      {std::make_shared<EdfSplit>(), DispatchPolicy::kEarliestDeadlineFirst,
+       true},
+  };
+
+  Rng rng(seed);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t attempts = 0;  // fork key: advances even on infeasible draws
+  std::uint64_t sets = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t violations = 0;
+
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+             .count() < seconds) {
+    Rng sample = rng.fork(attempts++);
+    WorkloadConfig config;
+    config.processors = static_cast<std::size_t>(sample.uniform_int(1, 8));
+    config.tasks =
+        config.processors * static_cast<std::size_t>(sample.uniform_int(2, 6));
+    config.period_model = PeriodModel::kGrid;
+    config.period_grid = small_hyperperiod_grid();
+    config.max_task_utilization = sample.uniform(0.3, 0.95);
+    config.normalized_utilization = sample.uniform(0.3, 0.99);
+    if (config.normalized_utilization >
+        0.95 * config.max_task_utilization * static_cast<double>(config.tasks) /
+            static_cast<double>(config.processors)) {
+      continue;  // infeasible UUniFast target; redraw
+    }
+    const TaskSet tasks = generate(sample, config);
+    ++sets;
+
+    const double theta = liu_layland_theta(tasks.size());
+    for (const Entry& entry : roster) {
+      const Assignment assignment =
+          entry.algorithm->partition(tasks, config.processors);
+      if (!assignment.success) continue;
+      const bool claimed =
+          entry.unconditional ||
+          tasks.normalized_utilization(config.processors) <= theta;
+      if (!claimed) continue;
+      ++accepted;
+      SimConfig sim;
+      sim.horizon = recommended_horizon(tasks, 2'000'000);
+      sim.policy = entry.policy;
+      const SimResult run = simulate(tasks, assignment, sim);
+      if (!run.schedulable) {
+        ++violations;
+        std::cerr << "VIOLATION: " << entry.algorithm->name()
+                  << " accepted but missed a deadline\n"
+                  << tasks.describe() << assignment.describe();
+      }
+    }
+  }
+
+  std::cout << "rmts_fuzz: " << sets << " task sets, " << accepted
+            << " accepted-and-claimed partitions simulated, " << violations
+            << " violations (seed " << seed << ")\n";
+  return violations == 0 ? 0 : 1;
+}
