@@ -4,10 +4,20 @@
 // are pseudo-polynomial "but in practice very efficient" (Section IV-A),
 // and the scheduling-point MaxSplit of [22] beats the binary search.
 // Also scales full partitioning runs with N and M -- the cost a design
-// loop pays per candidate configuration.
+// loop pays per candidate configuration -- and exercises the two
+// performance layers behind every experiment binary: the ProcessorState
+// admission cache (BM_AdmissionScan, BM_Partition, BM_MaxSplit) and the
+// persistent thread pool behind parallel_for (BM_AcceptanceSweep).
+//
+// Results are additionally written to BENCH_e8.json (google-benchmark JSON
+// schema) in the working directory so the perf trajectory is machine
+// trackable across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -74,6 +84,33 @@ BENCHMARK(BM_MaxSplit)
     ->ArgsProduct({{2, 8, 32}, {0, 1}})
     ->ArgNames({"hosted", "points"});
 
+/// Worst-fit style admission scan: many fits() probes against a fixed
+/// hosted set, the hot loop of the P-RM baselines' pick_bin and of the
+/// MaxSplit binary search.  The admission cache turns each probe from a
+/// full-processor re-analysis into a seeded incremental one.
+void BM_AdmissionScan(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const ProcessorState processor = hosted_processor(count);
+  Rng rng(777);
+  std::vector<Subtask> candidates;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const Time period = rng.uniform_int(1000, 1000000);
+    candidates.push_back(Subtask{2 * (i % (count + 1)),  // interleaved ranks
+                                 static_cast<TaskId>(1000 + i), 0,
+                                 std::max<Time>(1, period / 8), period, period,
+                                 SubtaskKind::kWhole});
+  }
+  for (auto _ : state) {
+    std::size_t admitted = 0;
+    for (const Subtask& candidate : candidates) {
+      admitted += processor.fits(candidate) ? 1u : 0u;
+    }
+    benchmark::DoNotOptimize(admitted);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_AdmissionScan)->Arg(8)->Arg(32)->ArgName("hosted");
+
 void BM_Partition(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   const auto algo_id = state.range(1);
@@ -94,6 +131,33 @@ BENCHMARK(BM_Partition)
     ->ArgsProduct({{4, 16, 64}, {0, 1, 2, 3}})
     ->ArgNames({"M", "algo"})
     ->Unit(benchmark::kMicrosecond);
+
+/// A small acceptance experiment end to end: the workload every bench_e*
+/// binary pays per sweep point.  Thread counts > 1 ran on freshly spawned
+/// std::threads in the seed; they now reuse the persistent pool.
+void BM_AcceptanceSweep(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  AcceptanceConfig config;
+  config.workload.tasks = 32;
+  config.workload.processors = 8;
+  config.workload.max_task_utilization = 0.5;
+  config.utilization_points = sweep(0.6, 0.85, 4);
+  config.samples = 24;
+  config.threads = threads;
+  const TestRoster roster{std::make_shared<RmtsLight>(),
+                          std::make_shared<Spa2>()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_acceptance(config, roster));
+  }
+  state.SetLabel(threads == 0 ? "threads=hw" : "threads=" +
+                                                   std::to_string(threads));
+}
+BENCHMARK(BM_AcceptanceSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Simulator(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
@@ -124,4 +188,25 @@ BENCHMARK(BM_Simulator)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): mirror the console run into
+// BENCH_e8.json so the perf trajectory is tracked in a machine-readable
+// form without needing --benchmark_out plumbing in every caller.  The
+// library insists on receiving the file name via --benchmark_out (it opens
+// the stream itself), so default that flag when the caller did not set one.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string default_out = "--benchmark_out=BENCH_e8.json";
+  const bool has_out = std::any_of(args.begin(), args.end(), [](const char* a) {
+    return std::string_view(a).starts_with("--benchmark_out=");
+  });
+  if (!has_out) args.push_back(default_out.data());
+  args.push_back(nullptr);
+  int args_count = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::ConsoleReporter console;
+  benchmark::JSONReporter json;
+  benchmark::RunSpecifiedBenchmarks(&console, &json);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -51,6 +51,7 @@ double breakdown_utilization(const SchedulabilityTest& test, const TaskSet& base
 BreakdownResult run_breakdown(const BreakdownConfig& config,
                               const TestRosterRef& roster) {
   if (roster.empty()) throw InvalidConfigError("run_breakdown: empty roster");
+  if (config.samples == 0) throw InvalidConfigError("run_breakdown: zero samples");
 
   BreakdownResult result;
   for (const auto& test : roster) result.algorithm_names.push_back(test->name());

@@ -1,40 +1,17 @@
 #include "analysis/parallel.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "analysis/thread_pool.hpp"
 
 namespace rmts {
 
 void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min(threads, count);
-
   if (threads == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      try {
-        for (std::size_t i = t; i < count; i += threads) fn(i);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  if (first_error) std::rethrow_exception(first_error);
+  ThreadPool::instance().run(count, threads, fn);
 }
 
 }  // namespace rmts

@@ -1,8 +1,10 @@
 // Thread-parallel index loop for experiment sweeps.
 //
 // Samples of an experiment are independent by construction (each derives
-// its own Rng from (seed, index)), so a strided static partition over
+// its own Rng from (seed, index)), so any partition of the index space over
 // worker threads is race-free and deterministic regardless of thread count.
+// Work is executed on the persistent process-wide ThreadPool with dynamic
+// chunking (see thread_pool.hpp) instead of spawning fresh threads per call.
 #pragma once
 
 #include <cstddef>
@@ -10,10 +12,10 @@
 
 namespace rmts {
 
-/// Runs fn(0) ... fn(count-1) across up to `threads` worker threads
+/// Runs fn(0) ... fn(count-1) across up to `threads` concurrent threads
 /// (0 = std::thread::hardware_concurrency).  fn must be safe to call
 /// concurrently for distinct indices.  The first exception thrown by any
-/// worker is rethrown on the calling thread after all workers join.
+/// worker is rethrown on the calling thread after all workers finish.
 void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t)>& fn);
 

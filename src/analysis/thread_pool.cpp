@@ -1,0 +1,121 @@
+#include "analysis/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace rmts {
+
+namespace {
+
+/// One run() invocation: a shared index cursor plus completion and error
+/// bookkeeping.  Participants claim chunks until the cursor is exhausted
+/// or the job is cancelled by an exception.
+struct Job {
+  const std::function<void(std::size_t)>* fn{nullptr};
+  std::size_t count{0};
+  std::size_t chunk{1};
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t pending_helpers{0};  // guarded by mutex
+  std::exception_ptr error;        // guarded by mutex; first one wins
+
+  void work() {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(count, begin + chunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        const std::scoped_lock lock(mutex);
+        if (!error) error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+/// Set while a pool worker runs a task: nested run() calls from inside fn
+/// fall back to serial execution instead of deadlocking on the queue.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_pool_worker = true;
+  std::unique_lock lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+void ThreadPool::run(std::size_t count, std::size_t parallelism,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (parallelism == 0) parallelism = threads_.size() + 1;
+  parallelism = std::min(parallelism, count);
+  if (parallelism <= 1 || threads_.empty() || tls_in_pool_worker) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  // ~4 chunks per participant: enough slack for dynamic balancing, few
+  // enough fetch_adds that the shared cursor stays cold for huge counts.
+  job->chunk = std::max<std::size_t>(1, count / (parallelism * 4));
+  const std::size_t helpers = std::min(parallelism - 1, threads_.size());
+  job->pending_helpers = helpers;
+  {
+    const std::scoped_lock lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([job] {
+        job->work();
+        const std::scoped_lock job_lock(job->mutex);
+        if (--job->pending_helpers == 0) job->done.notify_one();
+      });
+    }
+  }
+  wake_.notify_all();
+
+  job->work();  // the caller is a participant, not just a waiter
+  std::unique_lock job_lock(job->mutex);
+  job->done.wait(job_lock, [&] { return job->pending_helpers == 0; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace rmts

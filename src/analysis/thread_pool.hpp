@@ -1,0 +1,60 @@
+// Persistent worker pool behind parallel_for.
+//
+// The experiment sweeps (E2-E7, E10-E15) call parallel_for once per sweep
+// or even per refinement step; spawning and joining fresh std::threads each
+// time puts thread creation on the hot path and a strided static partition
+// leaves workers idle whenever per-index cost is uneven (e.g. breakdown
+// bisection depth varies per sample).  This pool fixes both: workers are
+// created once and reused, and indices are handed out in dynamically sized
+// chunks from a shared atomic cursor.  Reduction semantics are unchanged --
+// every fn(i) writes to its own index slot and callers reduce in index
+// order -- so results stay bit-identical for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rmts {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool used by parallel_for: hardware_concurrency - 1
+  /// workers (the calling thread is the final participant), created on
+  /// first use and joined at exit.
+  static ThreadPool& instance();
+
+  /// Pool with exactly `workers` background threads (tests construct small
+  /// pools directly so multi-worker paths are exercised on any machine).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of background workers (excluding the calling thread).
+  [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
+
+  /// Runs fn(0) .. fn(count-1) using at most `parallelism` concurrent
+  /// threads including the caller (0 = workers() + 1).  The caller
+  /// participates and blocks until every index has run.  The first
+  /// exception thrown by fn is rethrown here exactly once, after all
+  /// participants have stopped; remaining indices may then be skipped.
+  /// Calls from inside a pool worker run serially (no deadlock).
+  void run(std::size_t count, std::size_t parallelism,
+           const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_{false};
+};
+
+}  // namespace rmts

@@ -23,8 +23,11 @@ inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
 
 /// Ceiling division for non-negative numerator and positive denominator.
 /// Used pervasively by response-time analysis: ceil(t / T_j) job arrivals.
+/// Written without the textbook `(n + d - 1) / d` so it cannot overflow for
+/// numerators near kTimeInfinity (overflow-scale parameters are legal inputs
+/// to the analysis and must degrade to "unschedulable", not UB).
 [[nodiscard]] constexpr Time ceil_div(Time numerator, Time denominator) noexcept {
-  return (numerator + denominator - 1) / denominator;
+  return numerator == 0 ? 0 : (numerator - 1) / denominator + 1;
 }
 
 /// Floor division (positive denominator), provided for symmetry.

@@ -12,7 +12,9 @@ namespace {
 Time max_wcet_binary(const ProcessorState& processor, const Subtask& prototype) {
   // fits() is monotone in the candidate's wcet, so binary search for the
   // largest feasible value.  c = 0 ("assign nothing") is feasible by the
-  // caller's invariant that the processor is schedulable as-is.
+  // caller's invariant that the processor is schedulable as-is.  Each
+  // probe reuses the processor's memoized responses (see ProcessorState),
+  // so the O(log C) admission checks no longer redo full RTA from zero.
   Time lo = 0;               // highest known-feasible value
   Time hi = prototype.wcet;  // upper bound; may itself be feasible
   Subtask candidate = prototype;
@@ -29,37 +31,47 @@ Time max_wcet_binary(const ProcessorState& processor, const Subtask& prototype) 
 }
 
 /// Largest own execution budget of the candidate: max over its testing set
-/// of (t - higher-priority interference).
+/// of (t - higher-priority interference).  Candidate-deadline dependent,
+/// so not served from the hosted cache.
 Time max_self_budget(std::span<const Subtask> higher, Time deadline) {
   Time best = 0;
   for (const Time t : scheduling_points(deadline, higher)) {
-    best = std::max(best, t - interference_at(t, higher));
+    const Time demand = interference_at(t, higher);
+    if (demand >= t) continue;  // also skips saturated (kTimeInfinity) demand
+    best = std::max(best, t - demand);
   }
-  return std::max<Time>(best, 0);
+  return best;
 }
 
-/// Largest candidate wcet that keeps the hosted subtask (wcet, deadline,
-/// interfered by `hosted_higher`) schedulable when the candidate interferes
-/// with period `candidate_period`:
+/// Largest candidate wcet that keeps the hosted subtask at `index` (wcet,
+/// deadline, interfered by the hosted prefix) schedulable when the
+/// candidate interferes with period `candidate_period`:
 ///   max over testing points t of floor((t - W(t)) / ceil(t / T_c)),
-/// where W(t) is the demand without the candidate.  The testing set must
-/// include the candidate's own arrival multiples, since the optimum of the
-/// piecewise expression can sit there.
-Time max_extra_interference(Time wcet, Time deadline,
-                            std::span<const Subtask> hosted_higher,
+/// where W(t) is the demand without the candidate.  The hosted part of the
+/// testing set and its W(t) come memoized from the processor; only the
+/// candidate's own arrival multiples (where the optimum of the piecewise
+/// expression can also sit) are evaluated fresh.
+Time max_extra_interference(const ProcessorState& processor, std::size_t index,
                             Time candidate_period) {
-  // Build the testing set: multiples of every hosted higher-priority period
-  // and of the candidate's period in (0, deadline], plus the deadline.
-  std::vector<Time> points = scheduling_points(deadline, hosted_higher);
-  for (Time t = candidate_period; t < deadline; t += candidate_period) {
-    points.push_back(t);
-  }
+  const Subtask& hosted = processor.subtasks()[index];
+  const ProcessorState::TestingSet& set = processor.testing_set(index);
   Time best = 0;
-  for (const Time t : points) {
-    const Time slack = t - wcet - interference_at(t, hosted_higher);
-    if (slack <= 0) continue;
-    const Time jobs = ceil_div(t, candidate_period);
-    best = std::max(best, slack / jobs);
+  for (std::size_t k = 0; k < set.points.size(); ++k) {
+    const Time t = set.points[k];
+    const Time avail = t - hosted.wcet;
+    if (set.interference[k] >= avail) continue;  // saturated W lands here too
+    const Time slack = avail - set.interference[k];
+    best = std::max(best, slack / ceil_div(t, candidate_period));
+  }
+  const auto higher = processor.subtasks().first(index);
+  for (Time t = candidate_period; t < hosted.deadline;) {
+    const Time avail = t - hosted.wcet;
+    const Time demand = interference_at(t, higher);
+    if (demand < avail) {
+      best = std::max(best, (avail - demand) / ceil_div(t, candidate_period));
+    }
+    if (t > kTimeInfinity - candidate_period) break;
+    t += candidate_period;
   }
   return best;
 }
@@ -73,10 +85,8 @@ Time max_wcet_points(const ProcessorState& processor, const Subtask& prototype) 
 
   Time budget = max_self_budget(hosted.first(pos), prototype.deadline);
   for (std::size_t i = pos; i < hosted.size() && budget > 0; ++i) {
-    budget = std::min(budget, max_extra_interference(hosted[i].wcet,
-                                                     hosted[i].deadline,
-                                                     hosted.first(i),
-                                                     prototype.period));
+    budget = std::min(budget,
+                      max_extra_interference(processor, i, prototype.period));
   }
   return std::min(budget, prototype.wcet);
 }

@@ -1,17 +1,24 @@
 #include "partition/policies.hpp"
 
-#include <numeric>
-
 namespace rmts {
+
+// Both overloads sit in the innermost loop of every worst-fit partitioner
+// (one scan per placement attempt), so they carry the best utilization in a
+// register instead of re-reading processors[best] each comparison, and the
+// all-processors overload iterates directly rather than materializing an
+// index vector per call.
 
 std::optional<std::size_t> least_utilized_non_full(
     const std::vector<ProcessorState>& processors,
     const std::vector<std::size_t>& candidates) {
   std::optional<std::size_t> best;
+  double best_util = 0.0;
   for (const std::size_t q : candidates) {
     if (processors[q].full()) continue;
-    if (!best || processors[q].utilization() < processors[*best].utilization()) {
+    const double util = processors[q].utilization();
+    if (!best || util < best_util) {
       best = q;
+      best_util = util;
     }
   }
   return best;
@@ -19,9 +26,17 @@ std::optional<std::size_t> least_utilized_non_full(
 
 std::optional<std::size_t> least_utilized_non_full(
     const std::vector<ProcessorState>& processors) {
-  std::vector<std::size_t> all(processors.size());
-  std::iota(all.begin(), all.end(), 0);
-  return least_utilized_non_full(processors, all);
+  std::optional<std::size_t> best;
+  double best_util = 0.0;
+  for (std::size_t q = 0; q < processors.size(); ++q) {
+    if (processors[q].full()) continue;
+    const double util = processors[q].utilization();
+    if (!best || util < best_util) {
+      best = q;
+      best_util = util;
+    }
+  }
+  return best;
 }
 
 Assignment finalize_assignment(const std::vector<ProcessorState>& processors,

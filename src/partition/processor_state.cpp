@@ -22,42 +22,120 @@ std::size_t insert_position(std::span<const Subtask> subtasks,
 
 void ProcessorState::add(const Subtask& subtask) {
   const std::size_t pos = insert_position(subtasks_, subtask);
-  subtasks_.insert(subtasks_.begin() + static_cast<std::ptrdiff_t>(pos), subtask);
+  const auto offset = static_cast<std::ptrdiff_t>(pos);
+  subtasks_.insert(subtasks_.begin() + offset, subtask);
+  // The cache is materialized lazily on first query, so partitioners that
+  // only ever add() (SPA's utilization-threshold admission) pay nothing
+  // here.  Once live, it is kept in sync: the new entry's own wcet is a
+  // trivial lower bound on its response; the shifted entries keep their
+  // previous responses as stale seeds (their interferer set only grew by
+  // `subtask`, so the old value is still a lower bound).  Entries before
+  // pos are unaffected and stay valid.
+  if (cache_ != nullptr) {
+    if (!cache_->response.empty()) {
+      cache_->response.insert(cache_->response.begin() + offset, subtask.wcet);
+      cache_->response_valid.insert(cache_->response_valid.begin() + offset, 0);
+      for (std::size_t i = pos + 1; i < subtasks_.size(); ++i) {
+        cache_->response_valid[i] = 0;
+      }
+    }
+    if (!cache_->testing_sets.empty()) {
+      cache_->testing_sets.insert(cache_->testing_sets.begin() + offset,
+                                  TestingSet{});
+      cache_->testing_valid.insert(cache_->testing_valid.begin() + offset, 0);
+      for (std::size_t i = pos + 1; i < subtasks_.size(); ++i) {
+        cache_->testing_valid[i] = 0;
+      }
+    }
+  }
   utilization_ += subtask.utilization();
 }
 
+ProcessorState::Cache& ProcessorState::materialize_cache() const {
+  if (cache_ == nullptr) cache_ = std::make_unique<Cache>();
+  Cache& cache = *cache_;
+  if (cache.response.size() != subtasks_.size()) {
+    cache.response.resize(subtasks_.size());
+    for (std::size_t i = 0; i < subtasks_.size(); ++i) {
+      cache.response[i] = subtasks_[i].wcet;  // lower-bound seed
+    }
+    cache.response_valid.assign(subtasks_.size(), 0);
+  }
+  return cache;
+}
+
+void ProcessorState::ensure_response(std::size_t index) const {
+  Cache& cache = materialize_cache();
+  if (cache.response_valid[index]) return;
+  // A stale miss stays a miss: interference only grew since it was found.
+  if (cache.response[index] != kTimeInfinity) {
+    const auto hp = std::span<const Subtask>(subtasks_).first(index);
+    const RtaOutcome outcome =
+        response_time_seeded(subtasks_[index].wcet, subtasks_[index].deadline,
+                             hp, cache.response[index]);
+    cache.response[index] = outcome.schedulable ? outcome.response : kTimeInfinity;
+  }
+  cache.response_valid[index] = 1;
+}
+
 bool ProcessorState::fits(const Subtask& candidate) const {
+  const Cache& cache = materialize_cache();
   const std::size_t pos = insert_position(subtasks_, candidate);
+  const auto all = std::span<const Subtask>(subtasks_);
 
   // The candidate itself, interfered by the higher-priority prefix.
-  const auto hp = std::span<const Subtask>(subtasks_).first(pos);
-  if (!response_time(candidate.wcet, candidate.deadline, hp).schedulable) {
+  if (!response_time(candidate.wcet, candidate.deadline, all.first(pos))
+           .schedulable) {
     return false;
   }
 
-  // Every lower-priority subtask now additionally sees the candidate.
-  std::vector<Subtask> interferers(subtasks_.begin(),
-                                   subtasks_.begin() + static_cast<std::ptrdiff_t>(pos));
-  interferers.push_back(candidate);
+  // Every lower-priority subtask now additionally sees the candidate; its
+  // memoized candidate-free response seeds the re-analysis.  A stale value
+  // is still a valid seed (the interferer set only ever grows, so it stays
+  // a lower bound), which keeps this at exactly one fixed-point run per
+  // subtask -- the cache is deliberately NOT warmed here, because in
+  // partitioning loops every add() invalidates the suffix again before the
+  // warm value could be reused.
   for (std::size_t i = pos; i < subtasks_.size(); ++i) {
-    if (!response_time(subtasks_[i].wcet, subtasks_[i].deadline, interferers)
+    if (cache.response[i] == kTimeInfinity) return false;  // miss stays a miss
+    if (!response_time_with(subtasks_[i].wcet, subtasks_[i].deadline,
+                            all.first(i), candidate, cache.response[i])
              .schedulable) {
       return false;
     }
-    interferers.push_back(subtasks_[i]);
   }
   return true;
 }
 
 Time ProcessorState::response_time_of(std::size_t index) const {
   assert(index < subtasks_.size());
-  const auto hp = std::span<const Subtask>(subtasks_).first(index);
-  const RtaOutcome outcome =
-      response_time(subtasks_[index].wcet, subtasks_[index].deadline, hp);
+  ensure_response(index);
   // Callers only query subtasks that were admitted via fits(); the fixed
   // point therefore exists below the deadline.
-  assert(outcome.schedulable);
-  return outcome.response;
+  assert(cache_->response[index] != kTimeInfinity);
+  return cache_->response[index];
+}
+
+const ProcessorState::TestingSet& ProcessorState::testing_set(
+    std::size_t index) const {
+  assert(index < subtasks_.size());
+  if (cache_ == nullptr) cache_ = std::make_unique<Cache>();
+  Cache& cache = *cache_;
+  if (cache.testing_sets.size() != subtasks_.size()) {
+    cache.testing_sets.assign(subtasks_.size(), TestingSet{});
+    cache.testing_valid.assign(subtasks_.size(), 0);
+  }
+  if (!cache.testing_valid[index]) {
+    const auto hp = std::span<const Subtask>(subtasks_).first(index);
+    TestingSet& set = cache.testing_sets[index];
+    set.points = scheduling_points(subtasks_[index].deadline, hp);
+    set.interference.resize(set.points.size());
+    for (std::size_t k = 0; k < set.points.size(); ++k) {
+      set.interference[k] = interference_at(set.points[k], hp);
+    }
+    cache.testing_valid[index] = 1;
+  }
+  return cache.testing_sets[index];
 }
 
 }  // namespace rmts

@@ -1,6 +1,7 @@
 // Mutable per-processor state during partitioning.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -11,8 +12,42 @@ namespace rmts {
 
 /// One processor being filled by a partitioning algorithm.  Keeps its
 /// subtasks sorted by priority rank and caches the assigned utilization.
+///
+/// Admission cache: the exact response time of every hosted subtask (and,
+/// lazily, its time-demand testing set) is memoized and invalidated only
+/// when a higher-priority subtask is added -- insertion at position p
+/// leaves entries before p untouched.  Even invalidated entries keep their
+/// stale value: the hosted set only ever grows, so a response computed
+/// under a subset of the current interferers is a valid lower bound and
+/// seeds the re-analysis (see response_time_seeded).  This is what lets
+/// the worst-fit candidate scans of RM-TS(/light), SPA1/2 and the P-RM
+/// baselines, and the MaxSplit binary search, stop re-running full
+/// processor RTA from zero on every fits() probe.
+///
+/// The caches make the const query methods non-reentrant: confine an
+/// instance to one thread (partitioning runs are sequential; parallel
+/// experiment samples each own their processors).
 class ProcessorState {
  public:
+  ProcessorState() = default;
+  /// Copies drop the memoized caches (derived data, rebuilt lazily): the
+  /// branch-and-bound copies in optimal_strict stay cheap and the hot
+  /// worst-fit scans over vector<ProcessorState> keep a compact object.
+  ProcessorState(const ProcessorState& other)
+      : subtasks_(other.subtasks_),
+        utilization_(other.utilization_),
+        full_(other.full_) {}
+  ProcessorState& operator=(const ProcessorState& other) {
+    subtasks_ = other.subtasks_;
+    utilization_ = other.utilization_;
+    full_ = other.full_;
+    cache_.reset();
+    return *this;
+  }
+  ProcessorState(ProcessorState&&) = default;
+  ProcessorState& operator=(ProcessorState&&) = default;
+  ~ProcessorState() = default;
+
   /// Hosted subtasks, highest priority first.
   [[nodiscard]] std::span<const Subtask> subtasks() const noexcept { return subtasks_; }
 
@@ -23,22 +58,64 @@ class ProcessorState {
   [[nodiscard]] bool empty() const noexcept { return subtasks_.empty(); }
 
   /// Inserts `subtask` at its priority position.  Caller is responsible for
-  /// having verified schedulability (see fits()).
+  /// having verified schedulability (see fits()).  Invalidates the cached
+  /// responses and testing sets of every lower-priority hosted subtask.
   void add(const Subtask& subtask);
 
   /// Exact-RTA admission: true iff all current subtasks plus `candidate`
   /// meet their (synthetic) deadlines.  Only the candidate and the
   /// lower-priority subtasks are re-analyzed; higher-priority response
-  /// times cannot change.
+  /// times cannot change, and each re-analysis is seeded with the memoized
+  /// candidate-free response.
   [[nodiscard]] bool fits(const Subtask& candidate) const;
 
   /// Worst-case response time of the hosted subtask at `index` (position in
   /// subtasks()).  Used to fix the synthetic deadline of a split remainder
   /// (paper Eq. 1) from the *actual* response time of the placed body.
+  /// Served from the cache after the first query per hosted set.
   [[nodiscard]] Time response_time_of(std::size_t index) const;
 
+  /// Cached time-demand testing set of the hosted subtask at `index`: its
+  /// scheduling points (sorted, deduplicated, ending at the deadline) and
+  /// the hosted higher-priority interference W(t) at each point
+  /// (kTimeInfinity where W overflows).  Consumed by the scheduling-point
+  /// MaxSplit, which only has to add the candidate-dependent arrival
+  /// multiples on top.
+  struct TestingSet {
+    std::vector<Time> points;
+    std::vector<Time> interference;  // parallel to points
+  };
+  [[nodiscard]] const TestingSet& testing_set(std::size_t index) const;
+
  private:
+  /// The memoized analysis state, heap-allocated on the first RTA query so
+  /// that (a) purely utilization-driven partitioners (SPA) never pay for
+  /// it and (b) sizeof(ProcessorState) stays small -- the worst-fit
+  /// policies scan utilization()/full() across a vector<ProcessorState>
+  /// in their innermost loop, and inlining four cache vectors there was
+  /// measurably slower than the whole cache is worth.
+  struct Cache {
+    /// response[i]: exact candidate-free response time of subtasks_[i]
+    /// when response_valid[i], else a stale lower bound from an earlier
+    /// (subset) hosted set.  kTimeInfinity marks a known deadline miss
+    /// (possible when a caller adds past a non-RTA admission test, as SPA
+    /// does).
+    std::vector<Time> response;
+    std::vector<char> response_valid;
+    /// Empty until the first testing_set() query.
+    std::vector<TestingSet> testing_sets;
+    std::vector<char> testing_valid;
+  };
+
+  /// Makes cache_->response[index] exact for the current hosted set.
+  void ensure_response(std::size_t index) const;
+
+  /// Allocates and seeds the cache on the first RTA query (no-op once
+  /// live).  Returns the live cache.
+  Cache& materialize_cache() const;
+
   std::vector<Subtask> subtasks_;
+  mutable std::unique_ptr<Cache> cache_;
   double utilization_{0.0};
   bool full_{false};
 };

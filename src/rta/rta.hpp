@@ -38,9 +38,29 @@ struct RtaOutcome {
 /// (only their wcet/period fields are read).  Standard fixed-point
 /// iteration: R <- wcet + sum_j ceil(R / T_j) * C_j, seeded with the total
 /// one-job demand; aborts as unschedulable as soon as an iterate exceeds
-/// `deadline` (the iterates are non-decreasing).
+/// `deadline` (the iterates are non-decreasing).  All accumulation is
+/// overflow-checked: if the demand exceeds int64 the job certainly misses
+/// any representable deadline, so the outcome is "not schedulable" with
+/// `response == kTimeInfinity` instead of UB.
 [[nodiscard]] RtaOutcome response_time(Time wcet, Time deadline,
                                        std::span<const Subtask> interferers);
+
+/// As response_time, with the fixed-point iteration started at
+/// max(seed, one-job demand).  `seed` must be a lower bound on the true
+/// response time under `interferers` -- e.g. the exact response under any
+/// subset of them (interference is monotone, so the old fixed point lies
+/// at or below the new one).  Same fixed point, fewer iterations; this is
+/// what the ProcessorState admission cache feeds with memoized responses.
+[[nodiscard]] RtaOutcome response_time_seeded(Time wcet, Time deadline,
+                                              std::span<const Subtask> interferers,
+                                              Time seed);
+
+/// As response_time_seeded, with one `extra` interferer considered on top
+/// of `interferers` (saves materializing prefix + candidate vectors in the
+/// partitioners' admission scans).
+[[nodiscard]] RtaOutcome response_time_with(Time wcet, Time deadline,
+                                            std::span<const Subtask> interferers,
+                                            const Subtask& extra, Time seed);
 
 /// Full-processor analysis result.
 struct ProcessorRta {
@@ -75,6 +95,7 @@ struct ProcessorRta {
                                                   std::span<const Subtask> interferers);
 
 /// Total higher-priority demand sum_j ceil(t / T_j) * C_j at time t.
+/// Saturates to kTimeInfinity if the sum overflows int64.
 [[nodiscard]] Time interference_at(Time t, std::span<const Subtask> interferers);
 
 }  // namespace rmts

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -25,6 +26,9 @@ std::vector<double> uunifast(Rng& rng, std::size_t n, double total) {
 
 std::vector<double> uunifast_discard(Rng& rng, std::size_t n, double total,
                                      double max_each) {
+  if (!(max_each > 0.0)) {
+    throw InvalidConfigError("uunifast_discard: max_each must be > 0");
+  }
   if (total > static_cast<double>(n) * max_each) {
     throw InvalidConfigError("uunifast_discard: total exceeds n * max_each");
   }
@@ -60,6 +64,14 @@ std::vector<double> uunifast_discard(Rng& rng, std::size_t n, double total,
     for (double& v : u) {
       if (v < max_each) v += scale * (max_each - v);
     }
+  }
+  // Final safety clamp into the documented (0, max_each] postcondition:
+  // the redistribution above can overshoot the cap by an ulp (scale is an
+  // inexact quotient), and uunifast itself can emit an exact 0.0 that
+  // survives when there is no excess to spread.  The sum error introduced
+  // here is at most a few ulps per entry.
+  for (double& v : u) {
+    v = std::clamp(v, std::numeric_limits<double>::min(), max_each);
   }
   return u;
 }

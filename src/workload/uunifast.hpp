@@ -16,11 +16,13 @@ namespace rmts {
 [[nodiscard]] std::vector<double> uunifast(Rng& rng, std::size_t n, double total);
 
 /// UUniFast-Discard: redraws until every utilization is in (0, max_each].
-/// Requires total <= n * max_each; throws InvalidConfigError if infeasible.
-/// In the extreme regime where rejection stops converging (total within a
-/// few percent of n * max_each) it falls back to one exact
-/// clamp-redistribute pass that preserves the sum and the cap at a mild
-/// cost in simplex uniformity (documented in the implementation).
+/// Requires max_each > 0 and total <= n * max_each; throws
+/// InvalidConfigError if infeasible.  In the extreme regime where rejection
+/// stops converging (total within a few percent of n * max_each) it falls
+/// back to one clamp-redistribute pass that preserves the sum to a few
+/// ulps and enforces the cap exactly, at a mild cost in simplex uniformity
+/// (documented in the implementation).  The (0, max_each] postcondition
+/// holds in every regime, including the fallback.
 [[nodiscard]] std::vector<double> uunifast_discard(Rng& rng, std::size_t n,
                                                    double total, double max_each);
 

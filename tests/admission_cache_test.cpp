@@ -1,0 +1,133 @@
+// ProcessorState admission cache: the memoized/seeded fast path must be
+// observationally identical to from-scratch analyze_processor on randomized
+// assignment traces, including hosts made unschedulable by non-RTA
+// admission (the SPA path adds on a utilization threshold only).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "partition/max_split.hpp"
+#include "partition/processor_state.hpp"
+#include "rta/rta.hpp"
+
+namespace rmts {
+namespace {
+
+/// Random subtask with the given unique priority rank; deadline <= period.
+Subtask random_subtask(Rng& rng, std::size_t priority, bool heavy) {
+  const Time period = rng.uniform_int(20, 2000);
+  const Time max_wcet = heavy ? period : std::max<Time>(1, period / 6);
+  const Time wcet = rng.uniform_int(1, max_wcet);
+  const Time deadline = rng.uniform_int(wcet, period);
+  return Subtask{priority,  static_cast<TaskId>(priority), 0, wcet,
+                 period,    deadline,                      SubtaskKind::kWhole};
+}
+
+/// From-scratch oracle with the documented fits() semantics (the seed
+/// implementation verbatim): the candidate under its higher-priority
+/// prefix, then every lower-priority hosted subtask with materialized
+/// interferer vectors -- no caching, no seeding.  Higher-priority hosted
+/// subtasks are not re-examined (their response cannot change).
+bool oracle_fits(const ProcessorState& processor, const Subtask& candidate) {
+  const auto hosted = processor.subtasks();
+  const auto pos_it = std::lower_bound(
+      hosted.begin(), hosted.end(), candidate,
+      [](const Subtask& a, const Subtask& b) { return a.priority < b.priority; });
+  const auto pos = static_cast<std::size_t>(pos_it - hosted.begin());
+  if (!response_time(candidate.wcet, candidate.deadline, hosted.first(pos))
+           .schedulable) {
+    return false;
+  }
+  std::vector<Subtask> interferers(hosted.begin(), pos_it);
+  interferers.push_back(candidate);
+  for (std::size_t i = pos; i < hosted.size(); ++i) {
+    if (!response_time(hosted[i].wcet, hosted[i].deadline, interferers)
+             .schedulable) {
+      return false;
+    }
+    interferers.push_back(hosted[i]);
+  }
+  return true;
+}
+
+TEST(AdmissionCache, RandomizedTracesMatchFromScratchAnalysis) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    ProcessorState processor;
+    std::vector<std::size_t> priorities(64);
+    for (std::size_t i = 0; i < priorities.size(); ++i) priorities[i] = i;
+    // Random unique priority per step, in random arrival order.
+    for (std::size_t i = priorities.size(); i-- > 1;) {
+      std::swap(priorities[i],
+                priorities[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(i)))]);
+    }
+    for (std::size_t step = 0; step < 24; ++step) {
+      const Subtask candidate = random_subtask(rng, priorities[step], false);
+      const bool cached = processor.fits(candidate);
+      ASSERT_EQ(cached, oracle_fits(processor, candidate))
+          << "seed " << seed << " step " << step;
+      if (cached) processor.add(candidate);
+    }
+    // Cached per-subtask responses equal the from-scratch analysis.
+    const ProcessorRta fresh = analyze_processor(processor.subtasks());
+    ASSERT_TRUE(fresh.schedulable);
+    for (std::size_t i = 0; i < processor.subtasks().size(); ++i) {
+      EXPECT_EQ(processor.response_time_of(i), fresh.response[i]);
+    }
+  }
+}
+
+TEST(AdmissionCache, MatchesOracleOnHostsAddedPastAdmission) {
+  // SPA-style traces: subtasks land on utilization grounds alone, so the
+  // hosted set can be RTA-unschedulable; fits() must keep agreeing with
+  // the oracle (always false once the host is broken).
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    Rng rng(seed);
+    ProcessorState processor;
+    for (std::size_t step = 0; step < 10; ++step) {
+      const Subtask incoming = random_subtask(rng, step * 2, true);
+      const bool cached = processor.fits(incoming);
+      ASSERT_EQ(cached, oracle_fits(processor, incoming))
+          << "seed " << seed << " step " << step;
+      processor.add(incoming);  // added regardless, like spa_assign
+      const Subtask probe = random_subtask(rng, step * 2 + 1, false);
+      ASSERT_EQ(processor.fits(probe), oracle_fits(processor, probe))
+          << "seed " << seed << " probe at step " << step;
+    }
+  }
+}
+
+TEST(AdmissionCache, MaxSplitMethodsAgreeOnWarmCache) {
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    Rng rng(seed);
+    ProcessorState processor;
+    for (std::size_t step = 0; step < 12; ++step) {
+      const Subtask incoming = random_subtask(rng, step + 10, false);
+      if (processor.fits(incoming)) processor.add(incoming);
+    }
+    // Top-priority prototype, as produced by assign_or_split.
+    Subtask prototype = random_subtask(rng, 0, true);
+    const Time binary =
+        max_admissible_wcet(processor, prototype, MaxSplitMethod::kBinarySearch);
+    const Time points = max_admissible_wcet(processor, prototype,
+                                            MaxSplitMethod::kSchedulingPoints);
+    EXPECT_EQ(binary, points) << "seed " << seed;
+    // A second query on the now-warm testing-set cache must agree.
+    EXPECT_EQ(points, max_admissible_wcet(processor, prototype,
+                                          MaxSplitMethod::kSchedulingPoints));
+    // The result is a true maximum: it fits, one more tick does not.
+    if (binary > 0 && binary < prototype.wcet) {
+      Subtask probe = prototype;
+      probe.wcet = binary;
+      EXPECT_TRUE(processor.fits(probe));
+      probe.wcet = binary + 1;
+      EXPECT_FALSE(processor.fits(probe));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmts

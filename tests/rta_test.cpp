@@ -148,6 +148,70 @@ TEST(Rta, AgreesWithTimeDemandAnalysis) {
   }
 }
 
+// Regression: overflow-scale parameters must degrade to "not schedulable",
+// not to signed-overflow UB.  The seeded one-job sum alone exceeds int64
+// here; the seed implementation wrapped negative and could report a bogus
+// fixed point.
+TEST(Rta, OverflowScaleParametersReportUnschedulable) {
+  const Time huge = kTimeInfinity / 2;
+  const Subtask hp{0, 0, 0, huge, huge + 1, huge + 1, SubtaskKind::kWhole};
+  // wcet + one interfering job = kTimeInfinity/2 + kTimeInfinity/2 + 2 > max.
+  const RtaOutcome seed_overflow =
+      response_time(huge + 2, kTimeInfinity - 1, {&hp, 1});
+  EXPECT_FALSE(seed_overflow.schedulable);
+  EXPECT_EQ(seed_overflow.response, kTimeInfinity);
+}
+
+// Regression: overflow inside the interference sum (many heavy interferers
+// whose ceil(r/T)*C terms overflow before any iterate exceeds the deadline).
+TEST(Rta, OverflowInInterferenceSumReportsUnschedulable) {
+  const Time quarter = kTimeInfinity / 4;
+  const std::vector<Subtask> hp{
+      {0, 0, 0, quarter, quarter, quarter, SubtaskKind::kWhole},
+      {1, 1, 0, quarter, quarter + 1, quarter + 1, SubtaskKind::kWhole},
+      {2, 2, 0, quarter, quarter + 2, quarter + 2, SubtaskKind::kWhole}};
+  const RtaOutcome outcome = response_time(quarter, kTimeInfinity - 1, hp);
+  EXPECT_FALSE(outcome.schedulable);
+}
+
+// Near-overflow parameters that *are* schedulable must stay exact: the
+// checked path must not reject representable fixed points.
+TEST(Rta, NearOverflowSchedulableStaysExact) {
+  const Time big = kTimeInfinity / 4;
+  const Subtask hp{0, 0, 0, big, kTimeInfinity - 1, kTimeInfinity - 1,
+                   SubtaskKind::kWhole};
+  const RtaOutcome outcome = response_time(big, kTimeInfinity - 1, {&hp, 1});
+  ASSERT_TRUE(outcome.schedulable);
+  EXPECT_EQ(outcome.response, 2 * big);
+}
+
+// Seeded iteration: any valid lower-bound seed converges to the same fixed
+// point as the unseeded run, and the extra-interferer overload equals
+// analysis over the materialized set.
+TEST(Rta, SeededAndExtraVariantsMatchBaseline) {
+  const TaskSet set = TaskSet::from_pairs({{20, 100}, {40, 150}});
+  const auto hp = as_subtasks(set);
+  const RtaOutcome base = response_time(100, 350, hp);
+  ASSERT_TRUE(base.schedulable);
+  for (const Time seed : {Time{0}, Time{100}, base.response - 1, base.response}) {
+    EXPECT_EQ(response_time_seeded(100, 350, hp, seed).response, base.response);
+  }
+  const Subtask extra{2, 7, 0, 40, 150, 150, SubtaskKind::kWhole};
+  const std::vector<Subtask> first(hp.begin(), hp.begin() + 1);
+  const RtaOutcome with = response_time_with(100, 350, first, extra, 60);
+  EXPECT_EQ(with.schedulable, base.schedulable);
+  EXPECT_EQ(with.response, base.response);
+}
+
+// ceil_div must be exact for numerators near kTimeInfinity (the textbook
+// (n + d - 1) / d form overflowed there).
+TEST(Rta, CeilDivNearInfinity) {
+  EXPECT_EQ(ceil_div(kTimeInfinity, kTimeInfinity), 1);
+  EXPECT_EQ(ceil_div(kTimeInfinity, 2), kTimeInfinity / 2 + 1);
+  EXPECT_EQ(ceil_div(kTimeInfinity - 1, kTimeInfinity), 1);
+  EXPECT_EQ(ceil_div(0, kTimeInfinity), 0);
+}
+
 // The fixed point, when it exists, is the *least* solution: no smaller t
 // satisfies wcet + interference(t) <= t.
 TEST(Rta, FixedPointIsMinimal) {

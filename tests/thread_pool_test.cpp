@@ -1,0 +1,162 @@
+// Persistent thread pool: coverage, reuse, exception propagation, and
+// bit-identical experiment results across thread counts.
+//
+// Pools are also constructed directly with several workers so the
+// multi-worker paths are exercised even on single-core CI machines (where
+// the global pool has zero background workers and falls back to serial).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "analysis/acceptance.hpp"
+#include "analysis/breakdown.hpp"
+#include "analysis/parallel.hpp"
+#include "analysis/thread_pool.hpp"
+#include "common/error.hpp"
+
+namespace rmts {
+namespace {
+
+/// Closed-form stand-in: accepts iff U_M(tau) <= threshold.
+class ThresholdTest final : public SchedulabilityTest {
+ public:
+  explicit ThresholdTest(double threshold) : threshold_(threshold) {}
+  [[nodiscard]] bool accepts(const TaskSet& tasks,
+                             std::size_t processors) const override {
+    return tasks.normalized_utilization(processors) <= threshold_;
+  }
+  [[nodiscard]] std::string name() const override { return "threshold"; }
+
+ private:
+  double threshold_;
+};
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnceAcrossReuse) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  // Reuse the same pool for many runs of varying size: every index exactly
+  // once, every time (the pool is persistent, not per-call).
+  for (const std::size_t count : {1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.run(count, 0, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, HonorsParallelismCap) {
+  ThreadPool pool(7);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  pool.run(256, 2, [&](std::size_t) {
+    const int now = concurrent.fetch_add(1) + 1;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::yield();
+    concurrent.fetch_sub(1);
+  });
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadPool, RethrowsWorkerExceptionExactlyOnce) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> caught{0};
+    try {
+      pool.run(64, 0, [](std::size_t i) {
+        if (i == 13) throw InvalidConfigError("boom");
+      });
+      FAIL() << "exception must propagate";
+    } catch (const InvalidConfigError& e) {
+      caught.fetch_add(1);
+      EXPECT_STREQ(e.what(), "boom");
+    }
+    EXPECT_EQ(caught.load(), 1);
+    // The pool must remain usable after a failed job.
+    std::atomic<int> ran{0};
+    pool.run(32, 0, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 32);
+  }
+}
+
+TEST(ThreadPool, FirstOfConcurrentExceptionsWins) {
+  ThreadPool pool(4);
+  // Every index throws; exactly one exception may surface.
+  int caught = 0;
+  try {
+    pool.run(128, 0, [](std::size_t) { throw InvalidConfigError("many"); });
+  } catch (const InvalidConfigError&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+}
+
+TEST(ThreadPool, NestedRunFallsBackToSerial) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.run(8, 0, [&](std::size_t) {
+    // Nested use of the *global* pool from inside a worker must not
+    // deadlock; it degrades to serial execution.
+    parallel_for(4, 4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ParallelFor, AcceptanceBitIdenticalAcrossThreadCounts) {
+  AcceptanceConfig config;
+  config.workload.tasks = 12;
+  config.workload.processors = 4;
+  config.utilization_points = {0.5, 0.65, 0.8};
+  config.samples = 48;
+  const TestRoster roster{std::make_shared<ThresholdTest>(0.62),
+                          std::make_shared<ThresholdTest>(0.85)};
+  config.threads = 1;
+  const AcceptanceResult reference = run_acceptance(config, roster);
+  for (const std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    const AcceptanceResult result = run_acceptance(config, roster);
+    for (std::size_t p = 0; p < reference.ratio.size(); ++p) {
+      for (std::size_t a = 0; a < roster.size(); ++a) {
+        EXPECT_EQ(reference.ratio[p][a], result.ratio[p][a])
+            << "point " << p << " algo " << a << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, BreakdownBitIdenticalAcrossThreadCounts) {
+  BreakdownConfig config;
+  config.workload.tasks = 10;
+  config.workload.processors = 2;
+  config.workload.normalized_utilization = 0.3;
+  config.workload.max_task_utilization = 0.3;
+  config.samples = 24;
+  const TestRosterRef roster{std::make_shared<ThresholdTest>(0.6),
+                             std::make_shared<ThresholdTest>(0.8)};
+  config.threads = 1;
+  const BreakdownResult reference = run_breakdown(config, roster);
+  for (const std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    const BreakdownResult result = run_breakdown(config, roster);
+    for (std::size_t a = 0; a < roster.size(); ++a) {
+      EXPECT_EQ(reference.mean[a], result.mean[a]);
+      EXPECT_EQ(reference.min[a], result.min[a]);
+    }
+  }
+}
+
+TEST(Breakdown, ZeroSamplesThrows) {
+  // Regression: the seed divided by samples == 0, yielding NaN means and a
+  // min[] stuck at the config.hi sentinel.
+  BreakdownConfig config;
+  config.workload.tasks = 4;
+  config.workload.processors = 2;
+  config.samples = 0;
+  const TestRosterRef roster{std::make_shared<ThresholdTest>(0.5)};
+  EXPECT_THROW((void)run_breakdown(config, roster), InvalidConfigError);
+}
+
+}  // namespace
+}  // namespace rmts

@@ -68,6 +68,52 @@ TEST(UUniFastDiscard, InfeasibleTargetThrows) {
   EXPECT_THROW(uunifast_discard(rng, 4, 3.0, 0.5), InvalidConfigError);
 }
 
+TEST(UUniFastDiscard, NonPositiveCapThrows) {
+  Rng rng(6);
+  EXPECT_THROW(uunifast_discard(rng, 4, 0.0, 0.0), InvalidConfigError);
+  EXPECT_THROW(uunifast_discard(rng, 4, -1.0, -0.5), InvalidConfigError);
+}
+
+// Property test of the clamp-redistribute fallback regime: with the total
+// within a fraction of a percent of n * max_each, plain rejection has a
+// vanishing acceptance rate, so essentially every draw exercises the
+// fallback.  Regression: the redistribution pass could overshoot the cap
+// by an ulp and could return exact 0.0 entries, violating the documented
+// (0, max_each] postcondition.
+TEST(UUniFastDiscard, FallbackRegimeKeepsPostcondition) {
+  const std::size_t n = 16;
+  const double max_each = 0.2;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(seed);
+    const double total = static_cast<double>(n) * max_each * 0.9995;
+    const auto u = uunifast_discard(rng, n, total, max_each);
+    ASSERT_EQ(u.size(), n);
+    double sum = 0.0;
+    for (const double v : u) {
+      EXPECT_GT(v, 0.0) << "seed " << seed;
+      EXPECT_LE(v, max_each) << "seed " << seed;
+      sum += v;
+    }
+    EXPECT_NEAR(sum, total, 1e-9);
+  }
+}
+
+TEST(UUniFastDiscard, FallbackAtExactFeasibilityBoundary) {
+  // total == n * max_each admits exactly one point (all entries at the
+  // cap); rejection can never find it, so this is a pure fallback path.
+  const std::size_t n = 8;
+  const double max_each = 0.125;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const auto u = uunifast_discard(rng, n, static_cast<double>(n) * max_each,
+                                    max_each);
+    for (const double v : u) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, max_each);
+    }
+  }
+}
+
 TEST(Generate, TaskCountAndUtilizationTarget) {
   Rng rng(7);
   WorkloadConfig config;
