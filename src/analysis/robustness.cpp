@@ -1,0 +1,259 @@
+#include "analysis/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "analysis/sensitivity.hpp"
+#include "common/checked_math.hpp"
+#include "common/error.hpp"
+#include "rta/rta.hpp"
+
+namespace rmts {
+
+namespace {
+
+Time add_sat(Time a, Time b) noexcept {
+  const auto sum = checked_add(a, b);
+  return sum ? *sum : kTimeInfinity;
+}
+
+/// The fault layer's exact overrun rounding (sim/simulator.cpp): analytic
+/// and simulated probes must scale identically or the margins are not
+/// comparable.
+Time scale_wcet(Time wcet, double factor) {
+  if (factor == 1.0) return wcet;
+  const double scaled = factor * static_cast<double>(wcet);
+  if (scaled >= static_cast<double>(kTimeInfinity)) return kTimeInfinity;
+  return std::max<Time>(1, static_cast<Time>(std::llround(scaled)));
+}
+
+/// Jitter-aware RTA fixed point R = C + sum_j ceil((R + J) / T_j) * C_j
+/// over the higher-priority span, or nullopt once an iterate exceeds
+/// `bound` (iterates are non-decreasing).
+std::optional<Time> jitter_response(Time wcet, Time bound,
+                                    std::span<const Subtask> hp, Time jitter) {
+  if (wcet > bound) return std::nullopt;
+  Time r = add_sat(wcet, interference_at(add_sat(wcet, jitter), hp));
+  while (r <= bound) {
+    const Time next = add_sat(wcet, interference_at(add_sat(r, jitter), hp));
+    if (next == r) return r;
+    r = next;
+  }
+  return std::nullopt;
+}
+
+void validate(const TaskSet& tasks, const Assignment& assignment) {
+  if (tasks.empty()) throw InvalidConfigError("robustness: empty task set");
+  if (!assignment.success) {
+    throw InvalidConfigError("robustness: assignment unsuccessful");
+  }
+  for (const ProcessorAssignment& proc : assignment.processors) {
+    for (const Subtask& s : proc.subtasks) {
+      if (s.priority >= tasks.size()) {
+        throw InvalidConfigError("robustness: subtask priority out of range");
+      }
+    }
+  }
+}
+
+void validate(const RobustnessConfig& config) {
+  if (config.horizon_cap <= 0) {
+    throw InvalidConfigError("robustness: horizon_cap must be positive");
+  }
+  if (!(config.max_overrun_factor >= 1.0) ||
+      !std::isfinite(config.max_overrun_factor)) {
+    throw InvalidConfigError("robustness: max_overrun_factor must be >= 1");
+  }
+  if (!(config.factor_tol > 0.0)) {
+    throw InvalidConfigError("robustness: factor_tol must be positive");
+  }
+  if (config.max_release_jitter < 0) {
+    throw InvalidConfigError("robustness: max_release_jitter must be >= 0");
+  }
+}
+
+/// Largest factor in [lo, hi] satisfying the monotone predicate `clean`
+/// (true at lo), bisected to `tol`.
+template <typename Pred>
+double bisect_factor(const Pred& clean, double lo, double hi, double tol) {
+  if (clean(hi)) return hi;
+  double good = lo;
+  double bad = hi;
+  while (bad - good > tol) {
+    const double mid = 0.5 * (good + bad);
+    if (clean(mid)) {
+      good = mid;
+    } else {
+      bad = mid;
+    }
+  }
+  return good;
+}
+
+/// Largest tick count in [lo, hi] satisfying `clean` (true at lo).
+template <typename Pred>
+Time bisect_ticks(const Pred& clean, Time lo, Time hi) {
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo + 1) / 2;
+    if (clean(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+bool assignment_tolerates(const TaskSet& tasks, const Assignment& assignment,
+                          double factor, Time jitter) {
+  validate(tasks, assignment);
+  if (!(factor > 0.0) || !std::isfinite(factor)) {
+    throw InvalidConfigError("assignment_tolerates: factor must be positive");
+  }
+  if (jitter < 0) {
+    throw InvalidConfigError("assignment_tolerates: jitter must be >= 0");
+  }
+  const std::size_t n = tasks.size();
+  // Scaled per-piece responses, gathered per task as (part, response).
+  std::vector<std::vector<std::pair<int, Time>>> pieces(n);
+  for (const ProcessorAssignment& proc : assignment.processors) {
+    std::vector<Subtask> scaled = proc.subtasks;
+    for (Subtask& s : scaled) s.wcet = scale_wcet(s.wcet, factor);
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      const Subtask& s = scaled[i];
+      // Bound by the period: every Eq. 1 deadline is <= T, so a response
+      // beyond T fails regardless of the chain prefix.
+      const auto r = jitter_response(
+          s.wcet, s.period, std::span<const Subtask>(scaled.data(), i), jitter);
+      if (!r) return false;
+      pieces[s.priority].emplace_back(s.part, *r);
+    }
+  }
+  // Chain walk: D^1 = T - J, D^{k+1} = D^k - R^k (paper Eq. 1, shifted by
+  // the release jitter the deadline does not move with).
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    auto& chain = pieces[rank];
+    if (chain.empty()) {
+      throw InvalidConfigError("assignment_tolerates: task has no subtasks");
+    }
+    std::sort(chain.begin(), chain.end());
+    if (tasks[rank].period <= jitter) return false;
+    Time deadline = tasks[rank].period - jitter;
+    for (std::size_t k = 0; k < chain.size(); ++k) {
+      if (chain[k].first != static_cast<int>(k)) {
+        throw InvalidConfigError("assignment_tolerates: broken chain parts");
+      }
+      const Time response = chain[k].second;
+      if (response > deadline) return false;
+      deadline -= response;
+    }
+  }
+  return true;
+}
+
+RobustnessReport analyze_robustness(const TaskSet& tasks,
+                                    const Assignment& assignment,
+                                    const RobustnessConfig& config) {
+  validate(tasks, assignment);
+  validate(config);
+
+  SimConfig base;
+  base.horizon = recommended_horizon(tasks, config.horizon_cap);
+  base.policy = config.policy;
+  const auto clean = [&](double factor, Time jitter) {
+    SimConfig sim = base;
+    sim.faults.seed = config.fault_seed;
+    sim.faults.overrun_factor = factor;
+    sim.faults.release_jitter = jitter;
+    return simulate(tasks, assignment, sim).schedulable;
+  };
+
+  RobustnessReport report;
+  report.analytic_supported = config.policy == DispatchPolicy::kFixedPriority;
+
+  Time max_jitter = config.max_release_jitter;
+  if (max_jitter == 0) max_jitter = tasks[0].period;  // shortest period
+
+  if (report.analytic_supported) {
+    const auto tolerates_factor = [&](double f) {
+      return assignment_tolerates(tasks, assignment, f, 0);
+    };
+    const auto tolerates_jitter = [&](Time j) {
+      return assignment_tolerates(tasks, assignment, 1.0, j);
+    };
+    if (tolerates_factor(1.0)) {
+      report.analytic_overrun_margin = bisect_factor(
+          tolerates_factor, 1.0, config.max_overrun_factor, config.factor_tol);
+      report.analytic_jitter_margin = bisect_ticks(tolerates_jitter, 0, max_jitter);
+    }
+  }
+
+  if (clean(1.0, 0)) {
+    // Seed each simulated bisection at the analytic margin when a direct
+    // probe there is clean (analysis sound => always, making
+    // analytic <= simulated structural); on an unsound analysis the probe
+    // misses and the plain bisection exposes the violation.
+    double factor_lo = 1.0;
+    if (report.analytic_overrun_margin > 1.0 &&
+        clean(report.analytic_overrun_margin, 0)) {
+      factor_lo = report.analytic_overrun_margin;
+    }
+    report.simulated_overrun_margin =
+        bisect_factor([&](double f) { return clean(f, 0); }, factor_lo,
+                      config.max_overrun_factor, config.factor_tol);
+
+    Time jitter_lo = 0;
+    if (report.analytic_jitter_margin > 0 &&
+        clean(1.0, report.analytic_jitter_margin)) {
+      jitter_lo = report.analytic_jitter_margin;
+    }
+    report.simulated_jitter_margin = bisect_ticks(
+        [&](Time j) { return clean(1.0, j); }, jitter_lo, max_jitter);
+  }
+  return report;
+}
+
+MarginSoundness check_margin_soundness(const Partitioner& algorithm,
+                                       const TaskSet& tasks,
+                                       std::size_t processors,
+                                       const RobustnessConfig& config) {
+  validate(config);
+  if (tasks.empty()) throw InvalidConfigError("robustness: empty task set");
+
+  const auto simulates_clean = [&](const TaskSet& modified) {
+    const Assignment assignment = algorithm.partition(modified, processors);
+    if (!assignment.success) return false;
+    SimConfig sim;
+    sim.horizon = recommended_horizon(modified, config.horizon_cap);
+    sim.policy = config.policy;
+    return simulate(modified, assignment, sim).schedulable;
+  };
+
+  MarginSoundness result;
+  result.critical_scaling_factor = critical_scaling_factor(
+      algorithm, tasks, processors, 0.1, config.max_overrun_factor,
+      config.factor_tol);
+  // The bisection verified acceptance at the returned factor; Lemma 4 says
+  // the accepted scaled set's own assignment must simulate miss-free.
+  result.scaling_margin_sound =
+      result.critical_scaling_factor > 0.0 &&
+      simulates_clean(tasks.scaled_wcets(result.critical_scaling_factor));
+
+  const std::vector<Time> headroom =
+      wcet_headroom(algorithm, tasks, processors);  // throws if not accepted
+  result.headroom_sound = true;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    std::vector<Task> modified(tasks.begin(), tasks.end());
+    modified[i].wcet = headroom[i];
+    if (!simulates_clean(TaskSet(std::move(modified)))) {
+      result.headroom_sound = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rmts

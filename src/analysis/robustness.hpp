@@ -1,0 +1,99 @@
+// Simulation-backed robustness analysis: how much fault does an *accepted*
+// partition actually tolerate, and does the analytic margin ever promise
+// more than the runtime delivers?
+//
+// Two complementary views:
+//
+//  * analyze_robustness() takes a FIXED assignment and bisects, by
+//    fault-injected simulation (sim/fault.hpp), the largest execution-time
+//    overrun factor and the largest release-jitter bound before the first
+//    observed deadline miss.  Alongside it computes the corresponding
+//    *analytic* fixed-assignment margins: scale every subtask WCET by the
+//    candidate factor (the fault layer's exact rounding), recompute the
+//    synthetic deadlines of paper Eq. 1 from the measured RTA responses,
+//    and check each piece against its deadline; jitter J additionally
+//    shrinks the first deadline to T - J and inflates interference to
+//    ceil((t + J)/T_j) (Audsley-style jitter extension).  Analysis is
+//    conservative, simulation is exact, so the soundness invariant is
+//    analytic margin <= simulated margin -- asserted by tests and the
+//    fuzzer on every accepted partition.
+//
+//  * check_margin_soundness() cross-checks the re-partitioning margins of
+//    analysis/sensitivity.hpp (critical_scaling_factor, wcet_headroom):
+//    at the reported margin the algorithm's own assignment of the scaled
+//    set must simulate miss-free (Lemma 4 at the margin).
+#pragma once
+
+#include "partition/assignment.hpp"
+#include "sim/simulator.hpp"
+
+namespace rmts {
+
+/// Search space and simulation parameters of one robustness query.
+struct RobustnessConfig {
+  /// Simulation horizon cap (recommended_horizon(tasks, cap) per probe).
+  Time horizon_cap{2'000'000};
+  /// Seed of the injected fault streams.
+  std::uint64_t fault_seed{1};
+  /// Overrun-factor bisection over [1.0, max_overrun_factor], to factor_tol.
+  double max_overrun_factor{4.0};
+  double factor_tol{1e-2};
+  /// Jitter bisection over [0, max_release_jitter] ticks; 0 = use the
+  /// shortest period (jitter beyond one period is meaningless).
+  Time max_release_jitter{0};
+  DispatchPolicy policy{DispatchPolicy::kFixedPriority};
+};
+
+/// Robustness margins of one fixed assignment.
+struct RobustnessReport {
+  /// Largest overrun factor with a miss-free fault-injected simulation.
+  /// 0.0 if even the nominal run (factor 1.0) misses.
+  double simulated_overrun_margin{0.0};
+  /// Largest release-jitter bound (ticks) with a miss-free simulation.
+  Time simulated_jitter_margin{0};
+  /// Largest overrun factor the scaled-assignment RTA proves (<= the
+  /// simulated margin; 0.0 if the nominal assignment fails RTA).
+  double analytic_overrun_margin{0.0};
+  /// Largest jitter bound the jitter-aware RTA proves (<= simulated).
+  Time analytic_jitter_margin{0};
+  /// Analytic margins are computed for fixed-priority dispatch only; false
+  /// under kEarliestDeadlineFirst (analytic fields are then 0).
+  bool analytic_supported{false};
+};
+
+/// Computes the robustness margins of `assignment` (which must be
+/// successful) for `tasks`.  Throws InvalidConfigError on malformed
+/// configs or assignments.
+[[nodiscard]] RobustnessReport analyze_robustness(const TaskSet& tasks,
+                                                  const Assignment& assignment,
+                                                  const RobustnessConfig& config);
+
+/// Analytic fixed-assignment tolerance check used for the analytic margins
+/// (exposed for tests): true iff the assignment, with every subtask WCET
+/// scaled by `factor` (fault-layer rounding) and release jitter up to
+/// `jitter`, passes per-processor RTA against the Eq. 1 synthetic
+/// deadlines.  Fixed-priority semantics; `assignment` must be successful.
+[[nodiscard]] bool assignment_tolerates(const TaskSet& tasks,
+                                        const Assignment& assignment,
+                                        double factor, Time jitter);
+
+/// Outcome of cross-checking sensitivity.hpp's analytic margins.
+struct MarginSoundness {
+  /// critical_scaling_factor(algorithm, tasks, processors) as reported.
+  double critical_scaling_factor{0.0};
+  /// The algorithm's assignment of the csf-scaled set simulates miss-free.
+  bool scaling_margin_sound{false};
+  /// For every task, the assignment at its wcet_headroom simulates
+  /// miss-free.
+  bool headroom_sound{false};
+};
+
+/// Verifies by simulation that the analytic margins of sensitivity.hpp do
+/// not overpromise for `algorithm` on `tasks`.  Requires the nominal set
+/// to be accepted (wcet_headroom's precondition).
+[[nodiscard]] MarginSoundness check_margin_soundness(const Partitioner& algorithm,
+                                                     const TaskSet& tasks,
+                                                     std::size_t processors,
+                                                     const RobustnessConfig& config);
+
+}  // namespace rmts

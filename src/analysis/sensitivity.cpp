@@ -53,8 +53,11 @@ std::vector<Time> wcet_headroom(const SchedulabilityTest& test,
 double critical_scaling_factor(const SchedulabilityTest& test,
                                const TaskSet& tasks, std::size_t processors,
                                double lo, double hi, double tol) {
-  if (!(lo > 0.0) || lo > hi) {
-    throw InvalidConfigError("critical_scaling_factor: bad [lo, hi]");
+  if (!(lo > 0.0) || !(hi > lo)) {
+    throw InvalidConfigError("critical_scaling_factor: requires hi > lo > 0");
+  }
+  if (!(tol > 0.0)) {
+    throw InvalidConfigError("critical_scaling_factor: requires tol > 0");
   }
   if (!test.accepts(tasks.scaled_wcets(lo), processors)) return 0.0;
   if (test.accepts(tasks.scaled_wcets(hi), processors)) return hi;

@@ -31,7 +31,8 @@ namespace rmts {
 
 /// The critical scaling factor: largest f such that scaling every WCET by
 /// f (rounded to ticks, capped at U_i = 1) is still accepted; bisected to
-/// `tol`.  Returns 0 if even factor `lo` is rejected.
+/// `tol`.  Returns 0 if even factor `lo` is rejected.  Requires
+/// hi > lo > 0 and tol > 0 (throws InvalidConfigError otherwise).
 [[nodiscard]] double critical_scaling_factor(const SchedulabilityTest& test,
                                              const TaskSet& tasks,
                                              std::size_t processors,

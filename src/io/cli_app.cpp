@@ -2,7 +2,9 @@
 
 #include <memory>
 #include <ostream>
+#include <string>
 
+#include "analysis/robustness.hpp"
 #include "bounds/burchard.hpp"
 #include "bounds/harmonic.hpp"
 #include "bounds/ll_bound.hpp"
@@ -25,7 +27,12 @@ constexpr const char* kUsage =
     "usage: rmts_cli <taskset-file> -m <processors>\n"
     "                [-a rmts|rmts-light|spa1|spa2|prm-ff|edf-ts]\n"
     "                [-b ll|hc|tbound|rbound|burchard]\n"
-    "                [--simulate] [--bounds] [--gantt]\n";
+    "                [--simulate] [--bounds] [--gantt] [--robustness]\n"
+    "fault injection (with --simulate):\n"
+    "                [--fault-factor <f>] [--fault-ticks <t>]\n"
+    "                [--fault-prob <p>] [--fault-jitter <j>]\n"
+    "                [--fault-seed <s>] [--containment none|budget|demote]\n"
+    "                [--fail-proc <q>] [--fail-at <t>]\n";
 
 BoundPtr make_bound(const std::string& name) {
   if (name == "ll") return std::make_shared<LiuLaylandBound>();
@@ -59,7 +66,16 @@ struct Options {
   bool simulate = false;
   bool print_bounds = false;
   bool gantt = false;
+  bool robustness = false;
+  FaultModel faults;
 };
+
+ContainmentPolicy parse_containment(const std::string& name) {
+  if (name == "none") return ContainmentPolicy::kNone;
+  if (name == "budget") return ContainmentPolicy::kBudgetEnforcement;
+  if (name == "demote") return ContainmentPolicy::kPriorityDemotion;
+  throw InvalidConfigError("unknown containment policy: " + name);
+}
 
 Options parse(const std::vector<std::string>& args) {
   Options options;
@@ -84,6 +100,29 @@ Options parse(const std::vector<std::string>& args) {
       options.gantt = true;
     } else if (arg == "--bounds") {
       options.print_bounds = true;
+    } else if (arg == "--robustness") {
+      options.robustness = true;
+    } else if (arg == "--fault-factor") {
+      options.simulate = true;
+      options.faults.overrun_factor = std::stod(next("--fault-factor"));
+    } else if (arg == "--fault-ticks") {
+      options.simulate = true;
+      options.faults.overrun_ticks = std::stoll(next("--fault-ticks"));
+    } else if (arg == "--fault-prob") {
+      options.faults.overrun_probability = std::stod(next("--fault-prob"));
+    } else if (arg == "--fault-jitter") {
+      options.simulate = true;
+      options.faults.release_jitter = std::stoll(next("--fault-jitter"));
+    } else if (arg == "--fault-seed") {
+      options.faults.seed = std::stoull(next("--fault-seed"));
+    } else if (arg == "--containment") {
+      options.faults.containment = parse_containment(next("--containment"));
+    } else if (arg == "--fail-proc") {
+      options.simulate = true;
+      options.faults.failed_processor =
+          static_cast<std::size_t>(std::stoul(next("--fail-proc")));
+    } else if (arg == "--fail-at") {
+      options.faults.failure_time = std::stoll(next("--fail-at"));
     } else if (!arg.empty() && arg.front() == '-') {
       throw InvalidConfigError("unknown option: " + arg);
     } else if (options.taskset_path.empty()) {
@@ -143,14 +182,46 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   out << algorithm->name() << ":\n" << assignment.describe();
   if (!assignment.success) return 1;
 
+  const DispatchPolicy policy = options.algorithm == "edf-ts"
+                                    ? DispatchPolicy::kEarliestDeadlineFirst
+                                    : DispatchPolicy::kFixedPriority;
+
+  if (options.robustness) {
+    RobustnessConfig config;
+    config.fault_seed = options.faults.seed;
+    config.policy = policy;
+    try {
+      const RobustnessReport r = analyze_robustness(tasks, assignment, config);
+      out << "robustness margins (largest fault with a miss-free run):\n"
+          << "  overrun factor: simulated " << r.simulated_overrun_margin
+          << ", analytic "
+          << (r.analytic_supported ? std::to_string(r.analytic_overrun_margin)
+                                   : std::string("n/a"))
+          << '\n'
+          << "  release jitter: simulated " << r.simulated_jitter_margin
+          << " ticks, analytic "
+          << (r.analytic_supported ? std::to_string(r.analytic_jitter_margin)
+                                   : std::string("n/a"))
+          << " ticks\n";
+    } catch (const Error& error) {
+      err << "rmts_cli: " << error.what() << '\n';
+      return 2;
+    }
+  }
+
   if (options.simulate) {
     SimConfig sim;
     sim.horizon = recommended_horizon(tasks, 100'000'000);
-    sim.policy = options.algorithm == "edf-ts"
-                     ? DispatchPolicy::kEarliestDeadlineFirst
-                     : DispatchPolicy::kFixedPriority;
+    sim.policy = policy;
     sim.record_trace = options.gantt;
-    const SimResult run = simulate(tasks, assignment, sim);
+    sim.faults = options.faults;
+    SimResult run;
+    try {
+      run = simulate(tasks, assignment, sim);
+    } catch (const Error& error) {
+      err << "rmts_cli: " << error.what() << '\n';
+      return 2;
+    }
     if (options.gantt) {
       out << render_gantt(run.trace, assignment.processors.size(),
                           run.simulated_until, 100);
@@ -159,6 +230,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         << (run.schedulable ? "no deadline misses" : "DEADLINE MISS") << " ("
         << run.jobs_completed << " jobs, " << run.migrations
         << " migrations, " << run.preemptions << " preemptions)\n";
+    if (sim.faults.active()) {
+      out << "fault injection: " << run.jobs_degraded << " degraded, "
+          << run.jobs_aborted << " aborted, " << run.jobs_demoted
+          << " demoted, " << run.subtasks_orphaned << " orphaned\n";
+    }
     if (!run.schedulable) return 1;
   }
   return 0;

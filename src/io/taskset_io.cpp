@@ -1,14 +1,42 @@
 #include "io/taskset_io.hpp"
 
+#include <charconv>
 #include <fstream>
-#include <sstream>
+#include <string_view>
+#include <system_error>
 #include <vector>
 
 #include "common/error.hpp"
 
 namespace rmts {
 
+namespace {
+
+std::string position(int line_number) {
+  return "task set line " + std::to_string(line_number);
+}
+
+/// Parses one strictly-numeric field; rejects partial parses ("2500x") and
+/// values that do not fit a Time, naming the line and field.
+Time parse_time(std::string_view token, int line_number, const char* field) {
+  Time value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    throw InvalidTaskError(position(line_number) + ": " + field + " '" +
+                           std::string(token) + "' does not fit a Time");
+  }
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    throw InvalidTaskError(position(line_number) + ": malformed " + field +
+                           " '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
 TaskSet read_task_set(std::istream& input) {
+  constexpr std::string_view kSpace = " \t";
   std::vector<std::pair<Time, Time>> pairs;
   std::string line;
   int line_number = 0;
@@ -16,14 +44,40 @@ TaskSet read_task_set(std::istream& input) {
     ++line_number;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    std::istringstream fields(line);
-    Time wcet = 0;
-    Time period = 0;
-    std::string trailing;
-    if (!(fields >> wcet >> period) || (fields >> trailing)) {
-      throw InvalidTaskError("task set line " + std::to_string(line_number) +
-                             ": expected '<wcet> <period>'");
+    // Tolerate CRLF files: a trailing '\r' is line ending, not content.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    std::vector<std::string_view> tokens;
+    std::string_view rest = line;
+    while (true) {
+      const std::size_t start = rest.find_first_not_of(kSpace);
+      if (start == std::string_view::npos) break;
+      rest.remove_prefix(start);
+      const std::size_t end = rest.find_first_of(kSpace);
+      tokens.push_back(rest.substr(0, end));
+      if (end == std::string_view::npos) break;
+      rest.remove_prefix(end);
+    }
+    if (tokens.empty()) continue;  // blank / comment-only line
+    if (tokens.size() != 2) {
+      throw InvalidTaskError(position(line_number) +
+                             ": expected '<wcet> <period>', got " +
+                             std::to_string(tokens.size()) + " fields");
+    }
+    const Time wcet = parse_time(tokens[0], line_number, "wcet");
+    const Time period = parse_time(tokens[1], line_number, "period");
+    // Validate the model invariants here so the diagnostic carries the
+    // line number (TaskSet would reject them too, but namelessly).
+    if (wcet <= 0) {
+      throw InvalidTaskError(position(line_number) + ": wcet must be positive");
+    }
+    if (period <= 0) {
+      throw InvalidTaskError(position(line_number) +
+                             ": period must be positive");
+    }
+    if (wcet > period) {
+      throw InvalidTaskError(position(line_number) +
+                             ": wcet exceeds period (constrained deadlines)");
     }
     pairs.emplace_back(wcet, period);
   }

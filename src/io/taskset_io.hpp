@@ -17,8 +17,10 @@
 
 namespace rmts {
 
-/// Parses the text format from a stream.  Throws InvalidTaskError on
-/// malformed lines (with the line number) or invalid task parameters.
+/// Parses the text format from a stream.  CRLF line endings are tolerated.
+/// Throws InvalidTaskError -- naming the offending line -- on malformed or
+/// trailing-garbage fields, values that do not fit a Time, and parameter
+/// violations (wcet/period must be positive, wcet <= period).
 [[nodiscard]] TaskSet read_task_set(std::istream& input);
 
 /// Loads a task set from a file path; throws InvalidConfigError if the

@@ -1,0 +1,89 @@
+// Fault-injection model for the discrete-event simulator.
+//
+// The paper's guarantees (Lemma 4, the parametric bounds) hold only under
+// the nominal model: exact WCETs, releases no closer than T, no processor
+// loss.  Real workloads overrun and jitter, so the simulator can inject
+// three fault classes -- all seeded and bit-reproducible -- and contain
+// overruns with a runtime policy:
+//
+//  * execution-time overruns: each job's actual execution is
+//    round(overrun_factor * C^k) per chain piece (clamped to >= 1), plus
+//    `overrun_ticks` on the final piece; a job overruns with
+//    `overrun_probability` (1.0 = every job, deterministically);
+//  * release jitter: each release is delayed by a uniform draw in
+//    [0, release_jitter] ticks.  The absolute deadline stays anchored at
+//    the *nominal* release + T (a late input still owes its output on
+//    time), so jitter strictly shrinks the job's window -- the harsh,
+//    deadline-preserving semantics.  Nominal release points stay on the
+//    periodic grid, so consecutive releases are >= T - release_jitter
+//    apart;
+//  * processor failure: processor `failed_processor` stops executing at
+//    `failure_time`; pieces that would run there are orphaned and the
+//    affected jobs miss their deadlines.
+//
+// With the default-constructed FaultModel (factor 1.0, no ticks, no
+// jitter, no failure) the simulation is bit-identical to the nominal
+// path: no RNG is consulted and every counter matches the fault-free run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "common/time.hpp"
+
+namespace rmts {
+
+/// What the runtime does when a job exceeds its WCET budget.
+enum class ContainmentPolicy : std::uint8_t {
+  /// Nothing: the overrun propagates interference; misses are detected as
+  /// usual.  This is the "how bad does it get" baseline.
+  kNone,
+  /// Abort the job the instant the current piece reaches its nominal piece
+  /// WCET.  Overruns never inject extra interference, so an accepted
+  /// partition stays miss-free (jobs degrade to aborted instead).
+  kBudgetEnforcement,
+  /// Drop the overrunning job to background priority once its current
+  /// piece exhausts its nominal WCET: it only runs when the processor
+  /// would otherwise idle, so victims are shielded; only the overrunning
+  /// task itself can miss.
+  kPriorityDemotion,
+};
+
+/// Sentinel for FaultModel::failed_processor: no processor fails.
+inline constexpr std::size_t kNoProcessor = std::numeric_limits<std::size_t>::max();
+
+/// Seeded fault-injection parameters; see the file comment for semantics.
+/// Defaults are the nominal (fault-free) model.
+struct FaultModel {
+  /// Seed of the per-task fault streams (common/rng.hpp); the same model
+  /// on the same task set replays the exact same fault pattern.
+  std::uint64_t seed{0};
+  /// Multiplicative execution-time factor applied per chain piece (> 0;
+  /// values < 1.0 model early completion).
+  double overrun_factor{1.0};
+  /// Additive ticks appended to the final piece of an overrunning job.
+  Time overrun_ticks{0};
+  /// Fraction of jobs that overrun; 1.0 overruns every job without
+  /// consulting the RNG (deterministic sweeps), 0.0 disables overruns.
+  double overrun_probability{1.0};
+  /// Maximum release delay in ticks (uniform per-job draw; 0 = none).
+  Time release_jitter{0};
+  /// Processor that fails, or kNoProcessor.
+  std::size_t failed_processor{kNoProcessor};
+  /// Instant the failed processor stops executing.
+  Time failure_time{0};
+  ContainmentPolicy containment{ContainmentPolicy::kNone};
+
+  /// True iff overruns can change any job's execution time.
+  [[nodiscard]] bool injects_overruns() const noexcept {
+    return (overrun_factor != 1.0 || overrun_ticks != 0) && overrun_probability > 0.0;
+  }
+
+  /// True iff this model can perturb the nominal schedule at all.
+  [[nodiscard]] bool active() const noexcept {
+    return injects_overruns() || release_jitter > 0 || failed_processor != kNoProcessor;
+  }
+};
+
+}  // namespace rmts

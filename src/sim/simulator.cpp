@@ -1,12 +1,14 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <optional>
 #include <set>
 
 #include "common/checked_math.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace rmts {
 
@@ -78,12 +80,49 @@ std::vector<std::vector<Piece>> build_chains(const TaskSet& tasks,
   return chains;
 }
 
+void validate_faults(const FaultModel& faults, std::size_t processors) {
+  if (!(faults.overrun_factor > 0.0) || !std::isfinite(faults.overrun_factor)) {
+    throw InvalidConfigError("simulate: overrun_factor must be positive and finite");
+  }
+  if (faults.overrun_ticks < 0) {
+    throw InvalidConfigError("simulate: overrun_ticks must be non-negative");
+  }
+  if (faults.overrun_probability < 0.0 || faults.overrun_probability > 1.0) {
+    throw InvalidConfigError("simulate: overrun_probability must be in [0, 1]");
+  }
+  if (faults.release_jitter < 0) {
+    throw InvalidConfigError("simulate: release_jitter must be non-negative");
+  }
+  if (faults.failed_processor != kNoProcessor) {
+    if (faults.failed_processor >= processors) {
+      throw InvalidConfigError("simulate: failed_processor out of range");
+    }
+    if (faults.failure_time < 0) {
+      throw InvalidConfigError("simulate: failure_time must be non-negative");
+    }
+  }
+}
+
+/// Saturating addition of non-negative Times (fault-scaled execution times
+/// can reach overflow scale; event times must stay comparable, not UB).
+Time add_sat(Time a, Time b) noexcept {
+  const auto sum = checked_add(a, b);
+  return sum ? *sum : kTimeInfinity;
+}
+
 struct Job {
   bool active{false};
   Time release{0};
   Time deadline{0};
   std::size_t pos{0};  // current chain piece
-  Time remaining{0};   // remaining wcet of the current piece
+  Time remaining{0};   // remaining injected execution of the current piece
+  // Fault state.
+  double factor{1.0};       // injected multiplicative overrun for this job
+  Time extra{0};            // injected additive ticks on the final piece
+  Time budget_left{0};      // nominal wcet of the current piece not yet consumed
+  bool abort_at_budget{false};  // current piece is capped (budget enforcement)
+  bool demoted{false};      // running at background priority
+  bool degraded{false};     // injected execution exceeds the nominal WCET
 };
 
 }  // namespace
@@ -98,21 +137,51 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
   const std::size_t n = tasks.size();
   const std::size_t m = assignment.processors.size();
   const auto chains = build_chains(tasks, assignment, config.policy);
+  const FaultModel& faults = config.faults;
+  validate_faults(faults, m);
+  const bool overruns = faults.injects_overruns();
+  const bool budget_enforced =
+      faults.containment == ContainmentPolicy::kBudgetEnforcement;
+  const bool demotion =
+      faults.containment == ContainmentPolicy::kPriorityDemotion;
 
   SimResult result;
   result.busy_time.assign(m, 0);
   result.max_response.assign(n, 0);
+  result.degraded_per_task.assign(n, 0);
+
+  // Per-task fault streams: draws happen in rank order at each release
+  // event, so the pattern is a pure function of (seed, task, job index).
+  std::vector<Rng> stream;
+  if (overruns || faults.release_jitter > 0) {
+    const Rng base(faults.seed);
+    stream.reserve(n);
+    for (std::size_t rank = 0; rank < n; ++rank) stream.push_back(base.fork(rank));
+  }
 
   std::vector<Job> job(n);
+  // Nominal (periodic-grid) release instants anchor deadlines; the actual
+  // release may lag by the drawn jitter.
+  std::vector<Time> next_nominal(n, 0);
   std::vector<Time> next_release(n, 0);
+  const auto schedule_release = [&](std::size_t rank) {
+    Time actual = next_nominal[rank];
+    if (faults.release_jitter > 0) {
+      actual = add_sat(actual, stream[rank].uniform_int(0, faults.release_jitter));
+    }
+    next_release[rank] = actual;
+  };
   for (std::size_t rank = 0; rank < n; ++rank) {
-    next_release[rank] = config.offsets.empty() ? 0 : config.offsets[rank];
+    next_nominal[rank] = config.offsets.empty() ? 0 : config.offsets[rank];
+    schedule_release(rank);
   }
 
   // Ready ranks per processor (rank-ordered for deterministic ties);
   // dispatch key depends on the policy.
   std::vector<std::set<std::size_t>> ready(m);
   std::vector<std::optional<std::size_t>> running(m);
+  std::vector<char> dead(m, 0);
+  bool failure_pending = faults.failed_processor != kNoProcessor;
   // Last (rank, part) each processor was traced as executing; nullopt =
   // idle.  Tracked separately from `running` because completions reset
   // `running` before the dispatch step runs.
@@ -124,19 +193,54 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
   const auto edf_key = [&](std::size_t rank) {
     return job[rank].release + chains[rank][job[rank].pos].window_end;
   };
+  // Best ready rank under the active policy; demoted jobs only run when no
+  // nominal-priority work is ready (background priority).
   const auto pick = [&](const std::set<std::size_t>& candidates)
       -> std::optional<std::size_t> {
     if (candidates.empty()) return std::nullopt;
-    if (!edf) return *candidates.begin();
-    std::size_t best = *candidates.begin();
+    std::optional<std::size_t> best;
+    std::optional<std::size_t> best_demoted;
     for (const std::size_t rank : candidates) {
-      if (edf_key(rank) < edf_key(best)) best = rank;
+      auto& slot = job[rank].demoted ? best_demoted : best;
+      if (!slot) {
+        slot = rank;
+      } else if (edf && edf_key(rank) < edf_key(*slot)) {
+        slot = rank;  // FP keeps the first (lowest) rank: sets are ordered
+      }
+      if (!edf && best) break;  // lowest non-demoted rank found
     }
-    return best;
+    return best ? best : best_demoted;
+  };
+  /// Injected execution time of chain piece `pos` for the job of `rank`.
+  const auto injected_exec = [&](std::size_t rank, std::size_t pos) {
+    const Job& j = job[rank];
+    Time exec = chains[rank][pos].wcet;
+    if (j.factor != 1.0) {
+      const double scaled = j.factor * static_cast<double>(exec);
+      exec = scaled >= static_cast<double>(kTimeInfinity)
+                 ? kTimeInfinity
+                 : std::max<Time>(1, static_cast<Time>(std::llround(scaled)));
+    }
+    if (pos + 1 == chains[rank].size()) exec = add_sat(exec, j.extra);
+    return exec;
+  };
+  /// Loads piece `job[rank].pos` into the job's execution state.
+  const auto enter_piece = [&](std::size_t rank) {
+    Job& j = job[rank];
+    const Time nominal = chains[rank][j.pos].wcet;
+    const Time exec = injected_exec(rank, j.pos);
+    j.budget_left = nominal;
+    j.abort_at_budget = budget_enforced && exec > nominal;
+    j.remaining = j.abort_at_budget ? nominal : exec;
   };
   // Queue a piece: immediately ready, or parked until its window opens.
+  // Pieces bound for a failed processor are orphaned and never queued.
   const auto enqueue = [&](std::size_t rank, Time now) {
     const Piece& piece = chains[rank][job[rank].pos];
+    if (dead[piece.processor]) {
+      ++result.subtasks_orphaned;
+      return;
+    }
     const Time start =
         edf ? std::max(now, job[rank].release + piece.window_start) : now;
     if (start <= now) {
@@ -149,14 +253,21 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
   Time now = 0;
   bool aborted = false;
   while (!aborted) {
-    // Next event: release, running-piece completion, or window activation.
+    // Next event: release, running-piece completion or budget exhaustion,
+    // window activation, or processor failure.
     Time t_next = kTimeInfinity;
     for (std::size_t rank = 0; rank < n; ++rank) {
       t_next = std::min({t_next, next_release[rank], activation[rank]});
     }
     for (std::size_t q = 0; q < m; ++q) {
-      if (running[q]) t_next = std::min(t_next, now + job[*running[q]].remaining);
+      if (!running[q]) continue;
+      const Job& j = job[*running[q]];
+      t_next = std::min(t_next, add_sat(now, j.remaining));
+      if (demotion && !j.demoted && j.budget_left < j.remaining) {
+        t_next = std::min(t_next, add_sat(now, j.budget_left));
+      }
     }
+    if (failure_pending) t_next = std::min(t_next, faults.failure_time);
 
     // Events at exactly the horizon are still processed so deadlines on
     // the boundary are checked; only later events are cut off.
@@ -167,13 +278,46 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
     const Time elapsed = target - now;
     for (std::size_t q = 0; q < m; ++q) {
       if (!running[q]) continue;
-      job[*running[q]].remaining -= elapsed;
+      Job& j = job[*running[q]];
+      j.remaining -= elapsed;
+      j.budget_left = std::max<Time>(0, j.budget_left - elapsed);
       result.busy_time[q] += elapsed;
     }
     now = target;
     if (past_end) break;
 
-    // Piece completions.
+    // Processor failure: strand whatever is queued there.  Affected jobs
+    // stay active but can never progress, so they surface as deadline
+    // misses at their next release.
+    if (failure_pending && faults.failure_time == now) {
+      failure_pending = false;
+      const std::size_t q = faults.failed_processor;
+      dead[q] = 1;
+      result.subtasks_orphaned += ready[q].size();
+      ready[q].clear();
+      running[q].reset();
+    }
+
+    // Priority demotions: a running piece that exhausted its nominal WCET
+    // budget while work remains drops to background priority.
+    if (demotion) {
+      for (std::size_t q = 0; q < m; ++q) {
+        if (!running[q]) continue;
+        const std::size_t rank = *running[q];
+        Job& j = job[rank];
+        if (!j.demoted && j.budget_left == 0 && j.remaining > 0) {
+          j.demoted = true;
+          ++result.jobs_demoted;
+          if (config.record_trace) {
+            result.trace.push_back(TraceEvent{TraceEvent::Kind::kDemote, now, q,
+                                              tasks[rank].id,
+                                              static_cast<int>(j.pos), false});
+          }
+        }
+      }
+    }
+
+    // Piece completions and budget-enforcement aborts.
     for (std::size_t q = 0; q < m; ++q) {
       if (!running[q]) continue;
       const std::size_t rank = *running[q];
@@ -181,6 +325,18 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
       ready[q].erase(rank);
       running[q].reset();
       Job& j = job[rank];
+      if (j.abort_at_budget) {
+        // The piece hit its WCET budget with injected work left: kill the
+        // job so the overrun cannot propagate interference.
+        j.active = false;
+        ++result.jobs_aborted;
+        if (config.record_trace) {
+          result.trace.push_back(TraceEvent{TraceEvent::Kind::kAbort, now, q,
+                                            tasks[rank].id,
+                                            static_cast<int>(j.pos), false});
+        }
+        continue;
+      }
       ++j.pos;
       if (j.pos == chains[rank].size()) {
         j.active = false;
@@ -203,7 +359,7 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
           }
         }
       } else {
-        j.remaining = chains[rank][j.pos].wcet;
+        enter_piece(rank);
         enqueue(rank, now);
         ++result.migrations;
       }
@@ -214,11 +370,18 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
     for (std::size_t rank = 0; rank < n; ++rank) {
       if (activation[rank] != now) continue;
       activation[rank] = kTimeInfinity;
-      ready[chains[rank][job[rank].pos].processor].insert(rank);
+      const std::size_t q = chains[rank][job[rank].pos].processor;
+      if (dead[q]) {
+        ++result.subtasks_orphaned;
+      } else {
+        ready[q].insert(rank);
+      }
     }
 
-    // Releases.  deadline == next release (implicit deadlines), so an
-    // active job at its task's release instant is exactly a deadline miss.
+    // Releases.  The absolute deadline is anchored at the NOMINAL release
+    // (nominal + T), which under jitter-free operation equals the next
+    // release instant, so an active job at its task's release instant is
+    // exactly a deadline miss.
     for (std::size_t rank = 0; rank < n && !aborted; ++rank) {
       if (next_release[rank] != now) continue;
       Job& j = job[rank];
@@ -239,10 +402,33 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
           if (running[q] == rank) running[q].reset();
         }
       }
-      j = Job{true, now, now + tasks[rank].period, 0, chains[rank][0].wcet};
+      j = Job{};
+      j.active = true;
+      j.release = now;
+      j.deadline = add_sat(next_nominal[rank], tasks[rank].period);
+      if (overruns) {
+        const bool hit = faults.overrun_probability >= 1.0 ||
+                         stream[rank].uniform() < faults.overrun_probability;
+        if (hit) {
+          j.factor = faults.overrun_factor;
+          j.extra = faults.overrun_ticks;
+          for (std::size_t pos = 0; pos < chains[rank].size(); ++pos) {
+            if (injected_exec(rank, pos) > chains[rank][pos].wcet) {
+              j.degraded = true;
+              break;
+            }
+          }
+        }
+      }
+      if (j.degraded) {
+        ++result.jobs_degraded;
+        ++result.degraded_per_task[rank];
+      }
+      enter_piece(rank);
       enqueue(rank, now);
       ++result.jobs_released;
-      next_release[rank] += tasks[rank].period;
+      next_nominal[rank] = add_sat(next_nominal[rank], tasks[rank].period);
+      schedule_release(rank);
       if (config.record_trace) {
         result.trace.push_back(TraceEvent{TraceEvent::Kind::kRelease, now, 0,
                                           tasks[rank].id, 0, false});

@@ -26,6 +26,11 @@
 // zero misses.  The simulator also records the maximum observed
 // end-to-end response time per task, which tests compare against the
 // analytical bounds (analysis must dominate observation).
+// Fault injection (sim/fault.hpp): a seeded FaultModel in SimConfig adds
+// execution-time overruns, deadline-preserving release jitter and processor
+// failure, with overrun-containment policies (budget enforcement, priority
+// demotion) that respect split-chain semantics.  The default model is
+// inert and bit-identical to the nominal run.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +39,7 @@
 
 #include "common/time.hpp"
 #include "partition/assignment.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 #include "tasks/task_set.hpp"
 
@@ -56,6 +62,9 @@ struct SimConfig {
   DispatchPolicy policy{DispatchPolicy::kFixedPriority};
   /// Record a TraceEvent stream (see sim/trace.hpp) in SimResult::trace.
   bool record_trace{false};
+  /// Fault injection + overrun containment; default-constructed = nominal
+  /// run (validated, throws InvalidConfigError on malformed models).
+  FaultModel faults;
 };
 
 /// One observed deadline miss.
@@ -80,6 +89,18 @@ struct SimResult {
   /// Max observed end-to-end response (tail completion - release) per RM
   /// rank, over completed jobs; 0 for tasks with no completed job.
   std::vector<Time> max_response;
+  /// Jobs whose injected execution exceeded the nominal WCET (overruns
+  /// actually drawn, whether or not they were contained or missed).
+  std::uint64_t jobs_degraded{0};
+  /// Degraded jobs per RM rank; used to attribute misses to overruns.
+  std::vector<std::uint64_t> degraded_per_task;
+  /// Jobs killed at their WCET budget (ContainmentPolicy::kBudgetEnforcement).
+  /// Aborted jobs are not completions and not misses.
+  std::uint64_t jobs_aborted{0};
+  /// Jobs dropped to background priority (ContainmentPolicy::kPriorityDemotion).
+  std::uint64_t jobs_demoted{0};
+  /// Chain pieces that could not run because their processor had failed.
+  std::uint64_t subtasks_orphaned{0};
   /// Event stream, populated iff SimConfig::record_trace.
   std::vector<TraceEvent> trace;
 };

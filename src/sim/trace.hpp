@@ -18,7 +18,9 @@ namespace rmts {
 /// One trace entry.  kRun marks a dispatch change on `processor`: from
 /// `time` on it executes `task` (part `part`), or idles if `idle` is set.
 struct TraceEvent {
-  enum class Kind : std::uint8_t { kRun, kRelease, kComplete, kMiss };
+  /// kAbort: a job was killed at its WCET budget (budget enforcement);
+  /// kDemote: an overrunning job dropped to background priority.
+  enum class Kind : std::uint8_t { kRun, kRelease, kComplete, kMiss, kAbort, kDemote };
   Kind kind{Kind::kRun};
   Time time{0};
   std::size_t processor{0};  ///< kRun only; 0 otherwise

@@ -1,0 +1,344 @@
+// Fault-injection layer: overruns, jitter, processor failure, containment
+// policies, and the bit-identity of the inert model (sim/fault.hpp).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "partition/rmts_light.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace rmts {
+namespace {
+
+Assignment uniprocessor(const TaskSet& tasks) {
+  Assignment a;
+  a.success = true;
+  a.processors.resize(1);
+  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+    a.processors[0].subtasks.push_back(whole_subtask(tasks[rank], rank));
+  }
+  return a;
+}
+
+void expect_equal_counters(const SimResult& lhs, const SimResult& rhs) {
+  EXPECT_EQ(lhs.schedulable, rhs.schedulable);
+  EXPECT_EQ(lhs.misses.size(), rhs.misses.size());
+  EXPECT_EQ(lhs.simulated_until, rhs.simulated_until);
+  EXPECT_EQ(lhs.jobs_released, rhs.jobs_released);
+  EXPECT_EQ(lhs.jobs_completed, rhs.jobs_completed);
+  EXPECT_EQ(lhs.preemptions, rhs.preemptions);
+  EXPECT_EQ(lhs.migrations, rhs.migrations);
+  EXPECT_EQ(lhs.busy_time, rhs.busy_time);
+  EXPECT_EQ(lhs.max_response, rhs.max_response);
+  EXPECT_EQ(lhs.jobs_degraded, rhs.jobs_degraded);
+  EXPECT_EQ(lhs.degraded_per_task, rhs.degraded_per_task);
+  EXPECT_EQ(lhs.jobs_aborted, rhs.jobs_aborted);
+  EXPECT_EQ(lhs.jobs_demoted, rhs.jobs_demoted);
+  EXPECT_EQ(lhs.subtasks_orphaned, rhs.subtasks_orphaned);
+}
+
+TEST(FaultModel, InertModelIsIdentityOnCounters) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}, {40, 150}, {50, 300}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig nominal;
+  nominal.horizon = recommended_horizon(tasks, 100'000);
+  const SimResult base = simulate(tasks, a, nominal);
+  ASSERT_TRUE(base.schedulable);
+
+  // Factor 1.0, zero ticks, zero jitter, no failure: the model is inert
+  // regardless of seed/probability/containment, and the run must match the
+  // nominal one on every counter.
+  for (const ContainmentPolicy policy :
+       {ContainmentPolicy::kNone, ContainmentPolicy::kBudgetEnforcement,
+        ContainmentPolicy::kPriorityDemotion}) {
+    SimConfig faulty = nominal;
+    faulty.faults.seed = 12345;
+    faulty.faults.overrun_factor = 1.0;
+    faulty.faults.overrun_ticks = 0;
+    faulty.faults.overrun_probability = 0.5;
+    faulty.faults.containment = policy;
+    expect_equal_counters(base, simulate(tasks, a, faulty));
+  }
+}
+
+TEST(FaultModel, ZeroProbabilityDisablesOverruns) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}, {40, 150}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig config;
+  config.horizon = recommended_horizon(tasks, 100'000);
+  const SimResult base = simulate(tasks, a, config);
+  config.faults.overrun_factor = 3.0;
+  config.faults.overrun_probability = 0.0;
+  expect_equal_counters(base, simulate(tasks, a, config));
+}
+
+TEST(FaultModel, OverrunFactorCausesMissWithoutContainment) {
+  // 50 + 40 = 90 <= 100 nominally; at factor 3.0 the processor needs 270.
+  const TaskSet tasks = TaskSet::from_pairs({{50, 100}, {40, 100}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig config;
+  config.horizon = 1000;
+  config.faults.overrun_factor = 3.0;
+  const SimResult result = simulate(tasks, a, config);
+  EXPECT_FALSE(result.schedulable);
+  ASSERT_FALSE(result.misses.empty());
+  EXPECT_GT(result.jobs_degraded, 0u);
+}
+
+TEST(FaultModel, AdditiveTicksApplyToFinalPieceOnly) {
+  // Split chain: body (20, D=100) on P1, tail (30, D=80) on P2.  Additive
+  // ticks land on the tail only: response 20 + (30 + 5) = 55.
+  const TaskSet tasks = TaskSet::from_pairs({{50, 100}});
+  const Subtask body{0, 0, 0, 20, 100, 100, SubtaskKind::kBody};
+  const Subtask tail{0, 0, 1, 30, 100, 80, SubtaskKind::kTail};
+  Assignment a;
+  a.success = true;
+  a.processors.resize(2);
+  a.processors[0].subtasks = {body};
+  a.processors[1].subtasks = {tail};
+  SimConfig config;
+  config.horizon = 1000;
+  config.faults.overrun_ticks = 5;
+  const SimResult result = simulate(tasks, a, config);
+  ASSERT_TRUE(result.schedulable);
+  EXPECT_EQ(result.max_response[0], 55);
+  EXPECT_EQ(result.jobs_degraded, result.jobs_released);
+  EXPECT_EQ(result.degraded_per_task[0], result.jobs_released);
+}
+
+TEST(FaultModel, FactorScalesEveryChainPiece) {
+  // Factor 1.5 with +5 ticks: body 20 -> 30, tail 30 -> 45 + 5 = 50;
+  // end-to-end response 80 (still inside T = 100).
+  const TaskSet tasks = TaskSet::from_pairs({{50, 100}});
+  const Subtask body{0, 0, 0, 20, 100, 100, SubtaskKind::kBody};
+  const Subtask tail{0, 0, 1, 30, 100, 80, SubtaskKind::kTail};
+  Assignment a;
+  a.success = true;
+  a.processors.resize(2);
+  a.processors[0].subtasks = {body};
+  a.processors[1].subtasks = {tail};
+  SimConfig config;
+  config.horizon = 1000;
+  config.faults.overrun_factor = 1.5;
+  config.faults.overrun_ticks = 5;
+  const SimResult result = simulate(tasks, a, config);
+  ASSERT_TRUE(result.schedulable);
+  EXPECT_EQ(result.max_response[0], 80);
+}
+
+TEST(Containment, BudgetEnforcementAbortsInsteadOfMissing) {
+  const TaskSet tasks = TaskSet::from_pairs({{50, 100}, {40, 100}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig config;
+  config.horizon = 1000;
+  config.stop_at_first_miss = false;
+  config.faults.overrun_factor = 3.0;
+  config.faults.containment = ContainmentPolicy::kBudgetEnforcement;
+  const SimResult result = simulate(tasks, a, config);
+  // Every job is killed exactly at its nominal budget, so the processor
+  // never carries more than the (schedulable) nominal demand: no misses,
+  // no completions, one abort per released job.
+  EXPECT_TRUE(result.schedulable);
+  EXPECT_TRUE(result.misses.empty());
+  EXPECT_EQ(result.jobs_completed, 0u);
+  // Jobs released at the horizon boundary never get to execute (or abort).
+  EXPECT_GT(result.jobs_aborted, 0u);
+  EXPECT_GE(result.jobs_aborted + tasks.size(), result.jobs_released);
+  EXPECT_EQ(result.jobs_degraded, result.jobs_released);
+}
+
+TEST(Containment, BudgetEnforcementPassesNonOverrunningJobsThrough) {
+  // The abort only triggers when the injected execution actually exceeds
+  // the budget: +1 tick aborts every job, disabling the draw (probability
+  // 0) completes every job.
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig config;
+  config.horizon = 1000;
+  config.faults.overrun_ticks = 1;
+  config.faults.containment = ContainmentPolicy::kBudgetEnforcement;
+  const SimResult overrun = simulate(tasks, a, config);
+  EXPECT_GT(overrun.jobs_aborted, 0u);
+  EXPECT_GE(overrun.jobs_aborted + 1, overrun.jobs_released);  // horizon edge
+  config.faults.overrun_probability = 0.0;
+  const SimResult clean = simulate(tasks, a, config);
+  EXPECT_EQ(clean.jobs_aborted, 0u);
+  EXPECT_GE(clean.jobs_completed + 1, clean.jobs_released);  // horizon edge
+}
+
+TEST(Containment, DemotionAttributesMissesToOverrunningTasks) {
+  // Random overruns on half the jobs; under priority demotion a job past
+  // its budget no longer preempts anyone, so only tasks that actually
+  // overran can miss.
+  const TaskSet tasks =
+      TaskSet::from_pairs({{30, 100}, {50, 150}, {60, 300}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig config;
+  config.horizon = recommended_horizon(tasks, 100'000);
+  config.stop_at_first_miss = false;
+  config.faults.seed = 7;
+  config.faults.overrun_factor = 2.5;
+  config.faults.overrun_probability = 0.5;
+  config.faults.containment = ContainmentPolicy::kPriorityDemotion;
+  const SimResult result = simulate(tasks, a, config);
+  EXPECT_GT(result.jobs_degraded, 0u);
+  EXPECT_GT(result.jobs_demoted, 0u);
+  // Attribution invariant: a task with zero degraded jobs never misses.
+  for (const DeadlineMiss& miss : result.misses) {
+    std::size_t rank = tasks.size();
+    for (std::size_t r = 0; r < tasks.size(); ++r) {
+      if (tasks[r].id == miss.task) rank = r;
+    }
+    ASSERT_LT(rank, tasks.size());
+    EXPECT_GT(result.degraded_per_task[rank], 0u)
+        << "non-overrunning tau_" << miss.task << " missed under demotion";
+  }
+}
+
+TEST(FaultModel, ProcessorFailureOrphansAndMisses) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}, {40, 100}});
+  Assignment a;
+  a.success = true;
+  a.processors.resize(2);
+  a.processors[0].subtasks = {whole_subtask(tasks[0], 0)};
+  a.processors[1].subtasks = {whole_subtask(tasks[1], 1)};
+  SimConfig config;
+  config.horizon = 1000;
+  config.stop_at_first_miss = false;
+  config.faults.failed_processor = 0;
+  config.faults.failure_time = 150;
+  const SimResult result = simulate(tasks, a, config);
+  EXPECT_FALSE(result.schedulable);
+  EXPECT_GT(result.subtasks_orphaned, 0u);
+  // Only the task hosted on the dead processor misses; its survivor peer
+  // keeps running.
+  for (const DeadlineMiss& miss : result.misses) {
+    EXPECT_EQ(miss.task, tasks[0].id);
+  }
+  EXPECT_LE(result.busy_time[0], 150);
+  EXPECT_GT(result.busy_time[1], 150);
+}
+
+TEST(FaultModel, JitterIsDeadlineAnchored) {
+  // C = 30, T = 100: any release delay j <= 70 leaves >= 30 ticks to the
+  // absolute deadline (nominal release + T), so the run stays clean.
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig nominal;
+  nominal.horizon = 10'000;
+  const SimResult base = simulate(tasks, a, nominal);
+  SimConfig jittery = nominal;
+  jittery.faults.seed = 3;
+  jittery.faults.release_jitter = 70;
+  const SimResult result = simulate(tasks, a, jittery);
+  EXPECT_TRUE(result.schedulable);
+  // Releases stay on the nominal period grid (jitter delays, never drops);
+  // only the release landing exactly on the horizon may slip past it.
+  EXPECT_GE(result.jobs_released + 1, base.jobs_released);
+  EXPECT_LE(result.jobs_released, base.jobs_released);
+}
+
+TEST(FaultModel, ExcessiveJitterMissesWithShrunkenWindow) {
+  // C = 90, T = 100: a delay over 10 ticks leaves too little window.  The
+  // drawn delays are seeded, so the outcome is deterministic.
+  const TaskSet tasks = TaskSet::from_pairs({{90, 100}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig config;
+  config.horizon = 10'000;
+  config.faults.seed = 11;
+  config.faults.release_jitter = 60;
+  const SimResult result = simulate(tasks, a, config);
+  ASSERT_FALSE(result.schedulable);
+  ASSERT_FALSE(result.misses.empty());
+  // Deadline anchored at the *nominal* release: the missed job's recorded
+  // window (deadline - actual release) is strictly shorter than T.
+  EXPECT_LT(result.misses[0].deadline - result.misses[0].release, 100);
+}
+
+TEST(FaultModel, ValidatesModelParameters) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig config;
+  config.horizon = 1000;
+  const auto expect_rejected = [&](auto&& mutate) {
+    SimConfig bad = config;
+    mutate(bad.faults);
+    EXPECT_THROW((void)simulate(tasks, a, bad), InvalidConfigError);
+  };
+  expect_rejected([](FaultModel& f) { f.overrun_factor = 0.0; });
+  expect_rejected([](FaultModel& f) { f.overrun_factor = -1.0; });
+  expect_rejected([](FaultModel& f) {
+    f.overrun_factor = std::numeric_limits<double>::infinity();
+  });
+  expect_rejected([](FaultModel& f) { f.overrun_ticks = -1; });
+  expect_rejected([](FaultModel& f) { f.overrun_probability = -0.1; });
+  expect_rejected([](FaultModel& f) { f.overrun_probability = 1.5; });
+  expect_rejected([](FaultModel& f) { f.release_jitter = -5; });
+  expect_rejected([](FaultModel& f) { f.failed_processor = 1; });  // m == 1
+  expect_rejected([](FaultModel& f) {
+    f.failed_processor = 0;
+    f.failure_time = -1;
+  });
+}
+
+TEST(FaultModel, EdfDispatchSupportsInjection) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}, {40, 150}});
+  const Assignment a = uniprocessor(tasks);
+  SimConfig config;
+  config.horizon = recommended_horizon(tasks, 100'000);
+  config.policy = DispatchPolicy::kEarliestDeadlineFirst;
+  config.stop_at_first_miss = false;
+  config.faults.overrun_factor = 1.2;
+  const SimResult result = simulate(tasks, a, config);
+  EXPECT_GT(result.jobs_degraded, 0u);
+}
+
+// Mini-fuzz over generated workloads: (1) the inert model matches the
+// nominal counters exactly on accepted partitions; (2) overruns under
+// budget enforcement never produce a miss (rmts_fuzz runs the same
+// invariants for longer).
+TEST(FaultFuzz, BudgetEnforcementNeverMissesOnAcceptedPartitions) {
+  const RmtsLight algorithm;
+  Rng rng(20260806);
+  WorkloadConfig workload;
+  workload.tasks = 8;
+  workload.processors = 3;
+  workload.normalized_utilization = 0.7;
+  workload.period_model = PeriodModel::kGrid;
+  workload.period_grid = small_hyperperiod_grid();
+  int accepted = 0;
+  for (int i = 0; i < 30; ++i) {
+    const TaskSet tasks = generate(rng, workload);
+    const Assignment a = algorithm.partition(tasks, workload.processors);
+    if (!a.success) continue;
+    ++accepted;
+
+    SimConfig nominal;
+    nominal.horizon = recommended_horizon(tasks, 200'000);
+    const SimResult base = simulate(tasks, a, nominal);
+    ASSERT_TRUE(base.schedulable) << tasks.describe();
+
+    SimConfig inert = nominal;
+    inert.faults.seed = static_cast<std::uint64_t>(i) + 1;
+    inert.faults.overrun_probability = 0.7;
+    expect_equal_counters(base, simulate(tasks, a, inert));
+
+    SimConfig contained = nominal;
+    contained.stop_at_first_miss = false;
+    contained.faults.seed = static_cast<std::uint64_t>(i) + 1;
+    contained.faults.overrun_factor = 1.0 + 0.1 * (i % 12);
+    contained.faults.overrun_ticks = i % 3;
+    contained.faults.overrun_probability = 0.8;
+    contained.faults.containment = ContainmentPolicy::kBudgetEnforcement;
+    const SimResult result = simulate(tasks, a, contained);
+    EXPECT_TRUE(result.misses.empty()) << tasks.describe();
+    EXPECT_TRUE(result.schedulable);
+  }
+  EXPECT_GT(accepted, 10);
+}
+
+}  // namespace
+}  // namespace rmts

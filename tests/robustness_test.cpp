@@ -1,0 +1,184 @@
+// Robustness margins (analysis/robustness.hpp): simulated vs analytic
+// fault tolerance, and the soundness cross-check of sensitivity.hpp.
+#include <gtest/gtest.h>
+
+#include "analysis/robustness.hpp"
+#include "analysis/sensitivity.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "partition/rmts_light.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace rmts {
+namespace {
+
+Assignment uniprocessor(const TaskSet& tasks) {
+  Assignment a;
+  a.success = true;
+  a.processors.resize(1);
+  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+    a.processors[0].subtasks.push_back(whole_subtask(tasks[rank], rank));
+  }
+  return a;
+}
+
+TEST(AssignmentTolerates, MatchesHandComputedSlack) {
+  // Single task C = 30, T = 100: tolerates factor f iff round(30 f) <= 100
+  // and jitter J iff 30 <= 100 - J.
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}});
+  const Assignment a = uniprocessor(tasks);
+  EXPECT_TRUE(assignment_tolerates(tasks, a, 1.0, 0));
+  EXPECT_TRUE(assignment_tolerates(tasks, a, 3.3, 0));
+  EXPECT_FALSE(assignment_tolerates(tasks, a, 3.4, 0));
+  EXPECT_TRUE(assignment_tolerates(tasks, a, 1.0, 70));
+  EXPECT_FALSE(assignment_tolerates(tasks, a, 1.0, 71));
+}
+
+TEST(AssignmentTolerates, ValidatesArguments) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}});
+  const Assignment a = uniprocessor(tasks);
+  Assignment failed;
+  failed.success = false;
+  EXPECT_THROW((void)assignment_tolerates(tasks, failed, 1.0, 0),
+               InvalidConfigError);
+  EXPECT_THROW((void)assignment_tolerates(tasks, a, 0.0, 0),
+               InvalidConfigError);
+  EXPECT_THROW((void)assignment_tolerates(tasks, a, 1.0, -1),
+               InvalidConfigError);
+}
+
+TEST(AnalyzeRobustness, KnownMarginsOnSlackSet) {
+  // C = 30 + C = 20 on one processor, T = 100 each: full-utilization
+  // analysis -- factor margin 2.0 (round(f*50) <= 100), jitter margin 50.
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}, {20, 100}});
+  const Assignment a = uniprocessor(tasks);
+  RobustnessConfig config;
+  config.horizon_cap = 100'000;
+  const RobustnessReport report = analyze_robustness(tasks, a, config);
+  EXPECT_TRUE(report.analytic_supported);
+  EXPECT_NEAR(report.analytic_overrun_margin, 2.0, 0.02);
+  EXPECT_EQ(report.analytic_jitter_margin, 50);
+  // The synchronous simulation sees the same critical instant here.
+  EXPECT_NEAR(report.simulated_overrun_margin, 2.0, 0.02);
+  EXPECT_GE(report.simulated_jitter_margin, 50);
+  // Soundness: analysis never promises more than the simulation delivers.
+  EXPECT_LE(report.analytic_overrun_margin,
+            report.simulated_overrun_margin + 1e-9);
+  EXPECT_LE(report.analytic_jitter_margin, report.simulated_jitter_margin);
+}
+
+TEST(AnalyzeRobustness, UnschedulableNominalReportsZeroMargins) {
+  const TaskSet tasks = TaskSet::from_pairs({{60, 100}, {50, 100}});
+  const Assignment a = uniprocessor(tasks);
+  RobustnessConfig config;
+  config.horizon_cap = 10'000;
+  const RobustnessReport report = analyze_robustness(tasks, a, config);
+  EXPECT_DOUBLE_EQ(report.simulated_overrun_margin, 0.0);
+  EXPECT_EQ(report.simulated_jitter_margin, 0);
+  EXPECT_DOUBLE_EQ(report.analytic_overrun_margin, 0.0);
+  EXPECT_EQ(report.analytic_jitter_margin, 0);
+}
+
+TEST(AnalyzeRobustness, EdfPolicyHasNoAnalyticMargins) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}});
+  const Assignment a = uniprocessor(tasks);
+  RobustnessConfig config;
+  config.horizon_cap = 10'000;
+  config.policy = DispatchPolicy::kEarliestDeadlineFirst;
+  const RobustnessReport report = analyze_robustness(tasks, a, config);
+  EXPECT_FALSE(report.analytic_supported);
+  EXPECT_DOUBLE_EQ(report.analytic_overrun_margin, 0.0);
+  EXPECT_GT(report.simulated_overrun_margin, 1.0);
+}
+
+TEST(AnalyzeRobustness, ValidatesConfig) {
+  const TaskSet tasks = TaskSet::from_pairs({{30, 100}});
+  const Assignment a = uniprocessor(tasks);
+  const auto expect_rejected = [&](auto&& mutate) {
+    RobustnessConfig bad;
+    mutate(bad);
+    EXPECT_THROW((void)analyze_robustness(tasks, a, bad), InvalidConfigError);
+  };
+  expect_rejected([](RobustnessConfig& c) { c.horizon_cap = 0; });
+  expect_rejected([](RobustnessConfig& c) { c.max_overrun_factor = 0.9; });
+  expect_rejected([](RobustnessConfig& c) { c.factor_tol = 0.0; });
+  expect_rejected([](RobustnessConfig& c) { c.max_release_jitter = -1; });
+  Assignment failed;
+  failed.success = false;
+  EXPECT_THROW((void)analyze_robustness(tasks, failed, RobustnessConfig{}),
+               InvalidConfigError);
+}
+
+// The tentpole soundness sweep: across >= 100 generated task sets, on every
+// accepted RM-TS/light partition the analytic overrun AND jitter margins
+// never exceed the simulated ones; a direct simulation probe *at* the
+// analytic margin is clean.
+TEST(AnalyzeRobustness, AnalyticNeverExceedsSimulatedOnGeneratedSets) {
+  const RmtsLight algorithm;
+  Rng rng(42);
+  WorkloadConfig workload;
+  workload.tasks = 6;
+  workload.processors = 2;
+  workload.normalized_utilization = 0.6;
+  workload.period_model = PeriodModel::kGrid;
+  workload.period_grid = small_hyperperiod_grid();
+  RobustnessConfig config;
+  config.horizon_cap = 200'000;
+  config.max_overrun_factor = 3.0;
+  int accepted = 0;
+  for (int i = 0; i < 140 && accepted < 110; ++i) {
+    const TaskSet tasks = generate(rng, workload);
+    const Assignment a = algorithm.partition(tasks, workload.processors);
+    if (!a.success) continue;
+    ++accepted;
+    config.fault_seed = static_cast<std::uint64_t>(i) + 1;
+    const RobustnessReport report = analyze_robustness(tasks, a, config);
+    // Nominal accepted partitions simulate clean, so margins exist.
+    ASSERT_GE(report.simulated_overrun_margin, 1.0) << tasks.describe();
+    EXPECT_LE(report.analytic_overrun_margin,
+              report.simulated_overrun_margin + 1e-9)
+        << tasks.describe();
+    EXPECT_LE(report.analytic_jitter_margin, report.simulated_jitter_margin)
+        << tasks.describe();
+
+    // Direct probe: simulate exactly at the analytic margins.
+    SimConfig probe;
+    probe.horizon = recommended_horizon(tasks, config.horizon_cap);
+    probe.faults.seed = config.fault_seed;
+    probe.faults.overrun_factor = report.analytic_overrun_margin;
+    EXPECT_TRUE(simulate(tasks, a, probe).schedulable) << tasks.describe();
+    probe.faults.overrun_factor = 1.0;
+    probe.faults.release_jitter = report.analytic_jitter_margin;
+    EXPECT_TRUE(simulate(tasks, a, probe).schedulable) << tasks.describe();
+  }
+  EXPECT_GE(accepted, 100);
+}
+
+TEST(MarginSoundness, SensitivityMarginsHoldUnderSimulation) {
+  const RmtsLight algorithm;
+  Rng rng(7);
+  WorkloadConfig workload;
+  workload.tasks = 6;
+  workload.processors = 2;
+  workload.normalized_utilization = 0.55;
+  workload.period_model = PeriodModel::kGrid;
+  workload.period_grid = small_hyperperiod_grid();
+  RobustnessConfig config;
+  config.horizon_cap = 200'000;
+  int checked = 0;
+  for (int i = 0; i < 20 && checked < 8; ++i) {
+    const TaskSet tasks = generate(rng, workload);
+    if (!algorithm.accepts(tasks, workload.processors)) continue;
+    ++checked;
+    const MarginSoundness result = check_margin_soundness(
+        algorithm, tasks, workload.processors, config);
+    EXPECT_GE(result.critical_scaling_factor, 0.99) << tasks.describe();
+    EXPECT_TRUE(result.scaling_margin_sound) << tasks.describe();
+    EXPECT_TRUE(result.headroom_sound) << tasks.describe();
+  }
+  EXPECT_GE(checked, 5);
+}
+
+}  // namespace
+}  // namespace rmts

@@ -105,6 +105,16 @@ TEST(CriticalScalingFactor, EdgesAndValidation) {
   EXPECT_DOUBLE_EQ(critical_scaling_factor(everything, tasks, 1, 0.1, 3.0), 3.0);
   EXPECT_THROW((void)critical_scaling_factor(everything, tasks, 1, 0.0, 1.0),
                InvalidConfigError);
+  // Degenerate bracket (lo == hi) and non-positive tolerance are caller
+  // errors, not silent no-ops.
+  EXPECT_THROW((void)critical_scaling_factor(everything, tasks, 1, 1.0, 1.0),
+               InvalidConfigError);
+  EXPECT_THROW((void)critical_scaling_factor(everything, tasks, 1, 2.0, 1.0),
+               InvalidConfigError);
+  EXPECT_THROW((void)critical_scaling_factor(everything, tasks, 1, 0.1, 4.0, 0.0),
+               InvalidConfigError);
+  EXPECT_THROW((void)critical_scaling_factor(everything, tasks, 1, 0.1, 4.0, -1.0),
+               InvalidConfigError);
 }
 
 // Exhaustive exactness: over ALL two-task sets on a small parameter grid,

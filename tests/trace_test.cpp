@@ -68,6 +68,8 @@ TEST(Trace, RecordsReleasesRunsAndCompletions) {
       case TraceEvent::Kind::kRun: ++runs; break;
       case TraceEvent::Kind::kComplete: ++completions; break;
       case TraceEvent::Kind::kMiss: FAIL() << "unexpected miss";
+      case TraceEvent::Kind::kAbort: FAIL() << "unexpected abort";
+      case TraceEvent::Kind::kDemote: FAIL() << "unexpected demotion";
     }
   }
   // Releases at 0, 100, 200; completions at 30, 130; run/idle pairs each

@@ -1,21 +1,41 @@
 // Time-bounded randomized cross-validation harness ("the fuzzer"):
 // generates random workloads, runs every partitioning algorithm, and
 // checks each accepted assignment against the discrete-event simulator
-// plus the structural invariants.  Exit code 0 iff no violation found.
+// plus the structural invariants -- including the fault-injection layer:
+//
+//  * identity faults (factor 1.0, no jitter) must reproduce the nominal
+//    run counter-for-counter;
+//  * random overruns under budget enforcement must never cause a miss
+//    (only degradations/aborts);
+//  * under priority demotion every missing task must itself have
+//    overrun (misses are attributable);
+//  * processor failure must be contained to orphan accounting, not
+//    crashes;
+//  * periodically, the analytic robustness margins must not exceed the
+//    simulated ones (analysis/robustness.hpp soundness).
 //
 //   rmts_fuzz [seconds=10] [seed=1]
 //
-// This is the long-running counterpart of the bounded soundness tests in
-// tests/ -- run it for an hour before a release.
+// On violation the exact seed/attempt and fault configuration are printed
+// and the offending task set is written to
+// rmts_fuzz_violation_<seed>_<attempt>.txt, so any failure replays with
+// `rmts_fuzz <any> <seed>` or from the dumped file.  Exit code 0 iff no
+// violation found.  This is the long-running counterpart of the bounded
+// soundness tests in tests/ -- run it for an hour before a release.
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "analysis/robustness.hpp"
 #include "bounds/best_of.hpp"
 #include "bounds/bound.hpp"
 #include "common/rng.hpp"
+#include "io/taskset_io.hpp"
 #include "partition/baselines.hpp"
 #include "partition/edf_split.hpp"
 #include "partition/rmts.hpp"
@@ -35,6 +55,51 @@ struct Entry {
   /// admission) or only within the algorithm's theorem premises (SPA).
   bool unconditional;
 };
+
+struct Reporter {
+  std::uint64_t seed;
+  std::uint64_t attempt = 0;
+  std::uint64_t violations = 0;
+
+  /// Prints the reproduction context and dumps the task set to a file.
+  void violation(const std::string& what, const TaskSet& tasks,
+                 const Assignment& assignment, const FaultModel& faults) {
+    ++violations;
+    std::cerr << "VIOLATION: " << what << "\n  repro: seed " << seed
+              << ", attempt " << attempt << "\n  faults: factor "
+              << faults.overrun_factor << ", ticks " << faults.overrun_ticks
+              << ", prob " << faults.overrun_probability << ", jitter "
+              << faults.release_jitter << ", fault-seed " << faults.seed
+              << ", containment " << static_cast<int>(faults.containment)
+              << ", failed-proc ";
+    if (faults.failed_processor == kNoProcessor) {
+      std::cerr << "none";
+    } else {
+      std::cerr << faults.failed_processor << "@" << faults.failure_time;
+    }
+    std::cerr << '\n' << tasks.describe() << assignment.describe();
+    const std::string path = "rmts_fuzz_violation_" + std::to_string(seed) +
+                             "_" + std::to_string(attempt) + ".txt";
+    std::ofstream dump(path);
+    if (dump) {
+      write_task_set(dump, tasks);
+      std::cerr << "  task set written to " << path << '\n';
+    }
+  }
+};
+
+bool counters_equal(const SimResult& a, const SimResult& b) {
+  return a.schedulable == b.schedulable && a.misses.size() == b.misses.size() &&
+         a.simulated_until == b.simulated_until &&
+         a.jobs_released == b.jobs_released &&
+         a.jobs_completed == b.jobs_completed &&
+         a.preemptions == b.preemptions && a.migrations == b.migrations &&
+         a.busy_time == b.busy_time && a.max_response == b.max_response &&
+         a.jobs_degraded == b.jobs_degraded &&
+         a.degraded_per_task == b.degraded_per_task &&
+         a.jobs_aborted == b.jobs_aborted && a.jobs_demoted == b.jobs_demoted &&
+         a.subtasks_orphaned == b.subtasks_orphaned;
+}
 
 }  // namespace
 
@@ -66,11 +131,13 @@ int main(int argc, char** argv) {
   std::uint64_t attempts = 0;  // fork key: advances even on infeasible draws
   std::uint64_t sets = 0;
   std::uint64_t accepted = 0;
-  std::uint64_t violations = 0;
+  std::uint64_t margin_checks = 0;
+  Reporter reporter{seed};
 
   while (std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
              .count() < seconds) {
-    Rng sample = rng.fork(attempts++);
+    Rng sample = rng.fork(attempts);
+    reporter.attempt = attempts++;
     WorkloadConfig config;
     config.processors = static_cast<std::size_t>(sample.uniform_int(1, 8));
     config.tasks =
@@ -100,18 +167,103 @@ int main(int argc, char** argv) {
       SimConfig sim;
       sim.horizon = recommended_horizon(tasks, 2'000'000);
       sim.policy = entry.policy;
-      const SimResult run = simulate(tasks, assignment, sim);
-      if (!run.schedulable) {
-        ++violations;
-        std::cerr << "VIOLATION: " << entry.algorithm->name()
-                  << " accepted but missed a deadline\n"
-                  << tasks.describe() << assignment.describe();
+      const SimResult nominal = simulate(tasks, assignment, sim);
+      if (!nominal.schedulable) {
+        reporter.violation(entry.algorithm->name() +
+                               " accepted but missed a deadline",
+                           tasks, assignment, sim.faults);
+        continue;
+      }
+
+      // Invariant 1: identity faults (factor 1.0, no jitter) are miss-free
+      // and bit-identical on every counter.
+      SimConfig identity = sim;
+      identity.faults.seed =
+          static_cast<std::uint64_t>(sample.uniform_int(1, 1 << 30));
+      identity.faults.overrun_probability = sample.uniform(0.0, 1.0);
+      identity.faults.containment = ContainmentPolicy::kBudgetEnforcement;
+      if (!counters_equal(nominal, simulate(tasks, assignment, identity))) {
+        reporter.violation(entry.algorithm->name() +
+                               ": identity fault model changed the run",
+                           tasks, assignment, identity.faults);
+      }
+
+      // Invariant 2: overruns under budget enforcement never miss -- the
+      // contained demand is exactly the accepted nominal demand.
+      SimConfig contained = sim;
+      contained.stop_at_first_miss = false;
+      contained.faults.seed =
+          static_cast<std::uint64_t>(sample.uniform_int(1, 1 << 30));
+      contained.faults.overrun_factor = sample.uniform(1.0, 3.0);
+      contained.faults.overrun_ticks = sample.uniform_int(0, 3);
+      contained.faults.overrun_probability = sample.uniform(0.2, 1.0);
+      contained.faults.containment = ContainmentPolicy::kBudgetEnforcement;
+      const SimResult guarded = simulate(tasks, assignment, contained);
+      if (!guarded.misses.empty()) {
+        reporter.violation(entry.algorithm->name() +
+                               ": budget enforcement let an overrun miss",
+                           tasks, assignment, contained.faults);
+      }
+
+      // Invariant 3: under priority demotion, only tasks that actually
+      // overran can miss (no collateral victims).
+      SimConfig demoted = contained;
+      demoted.faults.containment = ContainmentPolicy::kPriorityDemotion;
+      const SimResult shielded = simulate(tasks, assignment, demoted);
+      for (const DeadlineMiss& miss : shielded.misses) {
+        for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+          if (tasks[rank].id == miss.task &&
+              shielded.degraded_per_task[rank] == 0) {
+            reporter.violation(
+                entry.algorithm->name() +
+                    ": demotion missed a task that never overran",
+                tasks, assignment, demoted.faults);
+          }
+        }
+      }
+
+      // Invariant 4: processor failure is contained (orphans counted, no
+      // crash; survivors keep the busy-time accounting consistent).
+      if (reporter.attempt % 4 == 0) {
+        SimConfig failing = sim;
+        failing.stop_at_first_miss = false;
+        failing.faults.failed_processor = static_cast<std::size_t>(
+            sample.uniform_int(0, static_cast<Time>(config.processors) - 1));
+        failing.faults.failure_time = sample.uniform_int(0, sim.horizon);
+        const SimResult survived = simulate(tasks, assignment, failing);
+        if (survived.busy_time[failing.faults.failed_processor] >
+            failing.faults.failure_time) {
+          reporter.violation(entry.algorithm->name() +
+                                 ": failed processor kept executing",
+                             tasks, assignment, failing.faults);
+        }
+      }
+
+      // Invariant 5 (periodic, costlier): the analytic robustness margins
+      // never exceed the simulated ones on a fixed assignment.
+      if (entry.policy == DispatchPolicy::kFixedPriority &&
+          reporter.attempt % 16 == 0) {
+        ++margin_checks;
+        RobustnessConfig robustness;
+        robustness.horizon_cap = 2'000'000;
+        robustness.fault_seed =
+            static_cast<std::uint64_t>(sample.uniform_int(1, 1 << 30));
+        const RobustnessReport report =
+            analyze_robustness(tasks, assignment, robustness);
+        if (report.analytic_overrun_margin >
+                report.simulated_overrun_margin + 1e-9 ||
+            report.analytic_jitter_margin > report.simulated_jitter_margin) {
+          reporter.violation(entry.algorithm->name() +
+                                 ": analytic margin exceeds simulated margin",
+                             tasks, assignment, sim.faults);
+        }
       }
     }
   }
 
   std::cout << "rmts_fuzz: " << sets << " task sets, " << accepted
-            << " accepted-and-claimed partitions simulated, " << violations
+            << " accepted-and-claimed partitions simulated, " << margin_checks
+            << " margin soundness checks, " << reporter.violations
             << " violations (seed " << seed << ")\n";
-  return violations == 0 ? 0 : 1;
+  return reporter.violations == 0 ? 0 : 1;
 }
