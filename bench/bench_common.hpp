@@ -3,14 +3,20 @@
 // table/figure prints the same way and EXPERIMENTS.md can quote it.
 #pragma once
 
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/acceptance.hpp"
 #include "bounds/harmonic.hpp"
 #include "bounds/ll_bound.hpp"
 #include "bounds/scaled_periods.hpp"
+#include "common/table.hpp"
 #include "partition/baselines.hpp"
 #include "partition/rmts.hpp"
 #include "partition/rmts_light.hpp"
@@ -26,6 +32,82 @@ inline void banner(const std::string& id, const std::string& claim,
             << "# claim:    " << claim << '\n'
             << "# workload: " << workload << '\n';
 }
+
+namespace detail {
+
+/// JSON string escaping for the few non-numeric cells (algorithm names).
+inline std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits a cell as a bare JSON number when it parses as one, else as a
+/// string, so plotting scripts get typed values without a schema.  "inf"
+/// and "nan" parse via strtod but are not JSON numbers, so only finite
+/// values pass through bare.
+inline std::string json_cell(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double value = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size() && std::isfinite(value)) return cell;
+  }
+  return '"' + json_escape(cell) + '"';
+}
+
+}  // namespace detail
+
+/// Machine-readable companion to the text tables: every bench_e* collects
+/// its Table(s) here and write() lands them in BENCH_<experiment>.json as
+/// one object per row keyed by the table header.  Always written next to
+/// the binary's working directory, mirroring the BENCH_e8/e16 convention.
+class JsonReport {
+ public:
+  JsonReport(std::string experiment, std::string description)
+      : experiment_(std::move(experiment)),
+        description_(std::move(description)) {}
+
+  /// Registers a rendered table under `name` ("rows" for single-table
+  /// benches).  Cell values are copied; call after the table is complete.
+  void add_table(const std::string& name, const Table& table) {
+    tables_.emplace_back(name, table);
+  }
+
+  /// Writes BENCH_<experiment>.json and echoes the path to stdout.
+  void write() const {
+    const std::string path = "BENCH_" + experiment_ + ".json";
+    std::ofstream json(path);
+    json << "{\n  \"experiment\": \"" << detail::json_escape(experiment_)
+         << "\",\n  \"description\": \"" << detail::json_escape(description_)
+         << "\"";
+    for (const auto& [name, table] : tables_) {
+      json << ",\n  \"" << detail::json_escape(name) << "\": [\n";
+      const auto& header = table.header();
+      for (std::size_t r = 0; r < table.rows().size(); ++r) {
+        const auto& row = table.rows()[r];
+        json << "    {";
+        for (std::size_t c = 0; c < header.size(); ++c) {
+          if (c != 0) json << ", ";
+          json << '"' << detail::json_escape(header[c])
+               << "\": " << detail::json_cell(c < row.size() ? row[c] : "");
+        }
+        json << (r + 1 < table.rows().size() ? "},\n" : "}\n");
+      }
+      json << "  ]";
+    }
+    json << "\n}\n";
+    std::cout << "results written to " << path << '\n';
+  }
+
+ private:
+  std::string experiment_;
+  std::string description_;
+  std::vector<std::pair<std::string, Table>> tables_;
+};
 
 inline std::shared_ptr<const Rmts> rmts_ll() {
   return std::make_shared<Rmts>(std::make_shared<LiuLaylandBound>());

@@ -43,7 +43,11 @@ int main() {
                                   SelectionPolicy::kWorstFit, 1000),
   };
   const AcceptanceResult result = run_acceptance(config, roster);
-  result.to_table().print_text(std::cout, "ablation acceptance ratios");
+  const Table table = result.to_table();
+  table.print_text(std::cout, "ablation acceptance ratios");
+  bench::JsonReport report("e10", "ablation acceptance ratios vs U_M");
+  report.add_table("rows", table);
+  report.write();
 
   std::cout << "\n50%-acceptance frontier:\n";
   for (std::size_t a = 0; a < roster.size(); ++a) {

@@ -34,7 +34,12 @@ int main() {
       std::make_shared<PartitionedEdf>(),
   };
   const AcceptanceResult result = run_acceptance(config, roster);
-  result.to_table().print_text(std::cout, "acceptance ratio vs U_M (FP vs EDF)");
+  const Table table = result.to_table();
+  table.print_text(std::cout, "acceptance ratio vs U_M (FP vs EDF)");
+  bench::JsonReport report("e11",
+                           "acceptance ratio vs U_M, FP vs EDF semi-partitioning");
+  report.add_table("rows", table);
+  report.write();
 
   std::cout << "\n50%-acceptance frontier:\n";
   for (std::size_t a = 0; a < roster.size(); ++a) {

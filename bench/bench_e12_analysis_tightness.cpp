@@ -77,5 +77,9 @@ int main() {
                    Table::num(ratios.front(), 3)});
   }
   table.print_text(std::cout, "observed/analytical end-to-end response ratios");
+  bench::JsonReport report("e12",
+                           "observed vs analytical end-to-end response ratios");
+  report.add_table("rows", table);
+  report.write();
   return 0;
 }

@@ -73,5 +73,9 @@ int main() {
                    Table::num(guarantee_mean / samples, 3)});
   }
   table.print_text(std::cout, "mean bound values by period structure");
+  bench::JsonReport report("e13",
+                           "mean parametric bound values by period structure");
+  report.add_table("rows", table);
+  report.write();
   return 0;
 }

@@ -56,5 +56,9 @@ int main() {
                    Table::num(bound_greedy / samples, 4)});
   }
   table.print_text(std::cout, "minimum vs greedy harmonic chain cover");
+  bench::JsonReport report("e14",
+                           "minimum vs greedy harmonic chain cover");
+  report.add_table("rows", table);
+  report.write();
   return 0;
 }

@@ -30,7 +30,8 @@ int main() {
       bench::prm_ffd_rta(),
   };
   const AcceptanceResult result = run_acceptance(config, roster);
-  result.to_table().print_text(std::cout,
+  const Table table = result.to_table();
+  table.print_text(std::cout,
                                "acceptance: splitting vs optimal strict vs FFD");
 
   std::cout << "\n50%-acceptance frontier:\n";
@@ -38,5 +39,9 @@ int main() {
     std::cout << "  " << result.algorithm_names[a] << ": U_M = "
               << Table::num(result.last_point_above(a, 0.5), 3) << '\n';
   }
+  bench::JsonReport report("e15",
+                           "acceptance vs an optimal strict partitioner");
+  report.add_table("rows", table);
+  report.write();
   return 0;
 }

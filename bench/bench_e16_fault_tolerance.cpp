@@ -81,6 +81,10 @@ int main() {
     for (const auto& [policy, policy_name] : policies) {
       for (const double factor : factors) {
         Cell cell;
+        // One batch per cell: per-item fault seeds keep the results
+        // independent of the worker count (simulate_batch contract).
+        std::vector<SimJob> jobs;
+        jobs.reserve(sets.size());
         for (std::size_t i = 0; i < sets.size(); ++i) {
           SimConfig sim;
           sim.horizon = recommended_horizon(sets[i], 2'000'000);
@@ -88,7 +92,9 @@ int main() {
           sim.faults.seed = 100 + i;
           sim.faults.overrun_factor = factor;
           sim.faults.containment = policy;
-          const SimResult run = simulate(sets[i], assignments[i], sim);
+          jobs.push_back(SimJob{&sets[i], &assignments[i], std::move(sim)});
+        }
+        for (const SimResult& run : simulate_batch(jobs)) {
           cell.released += run.jobs_released;
           cell.missed += run.misses.size();
           cell.degraded += run.jobs_degraded;

@@ -1,0 +1,205 @@
+// E17: simulator core throughput -- indexed event-queue core vs the naive
+// reference core (sim/simulator_reference.hpp).
+//
+// Three measurements on one accepted n=64 / m=16 partition, for both
+// dispatch policies:
+//
+//  * single-run events/sec over a long horizon (target: >= 2x reference);
+//  * repeated short simulations with varying fault seeds, the robustness
+//    bisection's access pattern, where the reusable SimWorkspace also
+//    eliminates per-call allocation (target: >= 5x reference);
+//  * end-to-end analyze_robustness() wall time (the workspace-wired
+//    production path), reported for trend tracking.
+//
+// Runs are interleaved reference/indexed per repetition and the minimum
+// over repetitions is reported, so machine noise inflates neither side.
+// `--smoke` shrinks horizons and repetition counts to a ~1s run for the
+// ctest registration; it validates plumbing, not the speedup targets.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "analysis/robustness.hpp"
+#include "bench_common.hpp"
+#include "partition/edf_split.hpp"
+#include "sim/simulator.hpp"
+#include "sim/simulator_reference.hpp"
+
+namespace {
+
+using namespace rmts;
+
+/// Seconds of wall time spent in `body()`.
+template <typename Body>
+double seconds(Body&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+const char* policy_name(DispatchPolicy policy) {
+  return policy == DispatchPolicy::kFixedPriority ? "FP" : "EDF";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rmts;
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const Time single_horizon_cap = smoke ? 50'000 : 4'000'000;
+  const Time repeated_horizon_cap = smoke ? 10'000 : 5'000;
+  const int repetitions = smoke ? 2 : 9;
+  const int repeated_runs = smoke ? 10 : 400;
+
+  bench::banner("E17 simulator throughput",
+                "indexed core >= 2x single-run events/sec and >= 5x on "
+                "repeated simulation vs the naive reference core",
+                "N=64, M=16, U_M=0.75, FP (RM-TS[LL]) and EDF (EDF-split) "
+                "partitions of the same task set");
+
+  // One task set both partitioners accept; the load level makes splitting
+  // likely, so the measured runs exercise chain pieces too.
+  WorkloadConfig workload;
+  workload.tasks = 64;
+  workload.processors = 16;
+  workload.normalized_utilization = 0.75;
+  workload.max_task_utilization = 0.9;
+  const auto fp_algorithm = bench::rmts_ll();
+  const EdfSplit edf_algorithm;
+  const Rng root(17);
+  TaskSet tasks;
+  Assignment fp_assignment;
+  Assignment edf_assignment;
+  bool found = false;
+  for (std::uint64_t sample = 0; sample < 100 && !found; ++sample) {
+    Rng rng = root.fork(sample);
+    TaskSet candidate = generate(rng, workload);
+    Assignment fp = fp_algorithm->partition(candidate, workload.processors);
+    if (!fp.success) continue;
+    Assignment edf = edf_algorithm.partition(candidate, workload.processors);
+    if (!edf.success) continue;
+    tasks = std::move(candidate);
+    fp_assignment = std::move(fp);
+    edf_assignment = std::move(edf);
+    found = true;
+  }
+  if (!found) {
+    std::cerr << "no sample accepted by both partitioners\n";
+    return 1;
+  }
+
+  bench::JsonReport report(
+      "e17", "indexed simulator core throughput vs the reference core");
+  SimWorkspace workspace;
+
+  // --- Single-run events/sec over a long horizon. ----------------------
+  Table throughput({"policy", "horizon", "events", "ref s", "indexed s",
+                    "ref ev/s", "indexed ev/s", "speedup"});
+  double single_run_speedup_fp = 0.0;
+  for (const DispatchPolicy policy : {DispatchPolicy::kFixedPriority,
+                                      DispatchPolicy::kEarliestDeadlineFirst}) {
+    const Assignment& assignment =
+        policy == DispatchPolicy::kFixedPriority ? fp_assignment : edf_assignment;
+    SimConfig sim;
+    sim.policy = policy;
+    sim.stop_at_first_miss = false;
+    sim.horizon = recommended_horizon(tasks, single_horizon_cap);
+    double ref_best = 1e300;
+    double indexed_best = 1e300;
+    std::uint64_t events = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      ref_best = std::min(
+          ref_best, seconds([&] { (void)simulate_reference(tasks, assignment, sim); }));
+      indexed_best = std::min(indexed_best, seconds([&] {
+        events = simulate(tasks, assignment, sim, workspace).events;
+      }));
+    }
+    const double speedup = ref_best / indexed_best;
+    if (policy == DispatchPolicy::kFixedPriority) single_run_speedup_fp = speedup;
+    throughput.add_row(
+        {policy_name(policy), std::to_string(sim.horizon), std::to_string(events),
+         Table::num(ref_best, 4), Table::num(indexed_best, 4),
+         Table::num(static_cast<double>(events) / ref_best, 0),
+         Table::num(static_cast<double>(events) / indexed_best, 0),
+         Table::num(speedup, 2)});
+  }
+  throughput.print_text(std::cout, "single-run throughput (best of reps)");
+  report.add_table("throughput", throughput);
+
+  // --- Repeated short simulations with varying fault seeds. ------------
+  // The robustness bisection's shape: same tasks/assignment, dozens of
+  // probes.  The reference allocates its maps/sets per call; the indexed
+  // core reuses one workspace.
+  Table repeated({"policy", "runs", "horizon", "ref s", "indexed s", "speedup"});
+  double repeated_speedup_fp = 0.0;
+  for (const DispatchPolicy policy : {DispatchPolicy::kFixedPriority,
+                                      DispatchPolicy::kEarliestDeadlineFirst}) {
+    const Assignment& assignment =
+        policy == DispatchPolicy::kFixedPriority ? fp_assignment : edf_assignment;
+    SimConfig sim;
+    sim.policy = policy;
+    sim.stop_at_first_miss = false;
+    sim.horizon = recommended_horizon(tasks, repeated_horizon_cap);
+    sim.record_trace = true;  // the audit/fuzz pattern: traced probes
+    sim.faults.overrun_factor = 1.1;
+    sim.faults.overrun_probability = 0.3;
+    sim.faults.containment = ContainmentPolicy::kBudgetEnforcement;
+    double ref_best = 1e300;
+    double indexed_best = 1e300;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      ref_best = std::min(ref_best, seconds([&] {
+        for (int run = 0; run < repeated_runs; ++run) {
+          sim.faults.seed = 1000 + static_cast<std::uint64_t>(run);
+          (void)simulate_reference(tasks, assignment, sim);
+        }
+      }));
+      indexed_best = std::min(indexed_best, seconds([&] {
+        for (int run = 0; run < repeated_runs; ++run) {
+          sim.faults.seed = 1000 + static_cast<std::uint64_t>(run);
+          (void)simulate(tasks, assignment, sim, workspace);
+        }
+      }));
+    }
+    const double speedup = ref_best / indexed_best;
+    if (policy == DispatchPolicy::kFixedPriority) repeated_speedup_fp = speedup;
+    repeated.add_row({policy_name(policy), std::to_string(repeated_runs),
+                      std::to_string(sim.horizon), Table::num(ref_best, 4),
+                      Table::num(indexed_best, 4), Table::num(speedup, 2)});
+  }
+  repeated.print_text(std::cout, "repeated-simulation wall time (best of reps)");
+  report.add_table("repeated", repeated);
+
+  // --- End-to-end robustness bisection. --------------------------------
+  Table robustness({"policy", "horizon cap", "seconds", "overrun margin"});
+  for (const DispatchPolicy policy : {DispatchPolicy::kFixedPriority,
+                                      DispatchPolicy::kEarliestDeadlineFirst}) {
+    const Assignment& assignment =
+        policy == DispatchPolicy::kFixedPriority ? fp_assignment : edf_assignment;
+    RobustnessConfig config;
+    config.policy = policy;
+    config.horizon_cap = smoke ? 10'000 : 200'000;
+    config.max_overrun_factor = 2.0;
+    RobustnessReport margins;
+    const double elapsed =
+        seconds([&] { margins = analyze_robustness(tasks, assignment, config); });
+    robustness.add_row({policy_name(policy), std::to_string(config.horizon_cap),
+                        Table::num(elapsed, 3),
+                        Table::num(margins.simulated_overrun_margin, 3)});
+  }
+  robustness.print_text(std::cout, "end-to-end robustness bisection");
+  report.add_table("robustness", robustness);
+  report.write();
+
+  if (!smoke) {
+    std::cout << (single_run_speedup_fp >= 2.0 ? "\nTARGET MET" : "\nTARGET MISSED")
+              << ": single-run FP speedup " << Table::num(single_run_speedup_fp, 2)
+              << " (target 2.0)\n"
+              << (repeated_speedup_fp >= 5.0 ? "TARGET MET" : "TARGET MISSED")
+              << ": repeated-simulation FP speedup "
+              << Table::num(repeated_speedup_fp, 2) << " (target 5.0)\n";
+  }
+  return 0;
+}

@@ -45,5 +45,12 @@ int main() {
                 Table::num(r_bound_value(32, r), 4)});
   }
   rb.print_text(std::cout, "R-bound vs scaled-period ratio (min over r equals Theta(N))");
+
+  bench::JsonReport report("e1",
+                           "parametric utilization bounds and derived thresholds");
+  report.add_table("theta", theta);
+  report.add_table("harmonic_chain", hc);
+  report.add_table("r_bound", rb);
+  report.write();
   return 0;
 }

@@ -33,7 +33,12 @@ int main() {
       bench::prm_ffd_ll(),
   };
   const AcceptanceResult result = run_acceptance(config, roster);
-  result.to_table().print_text(std::cout, "acceptance ratio vs U_M (light sets)");
+  const Table table = result.to_table();
+  table.print_text(std::cout, "acceptance ratio vs U_M (light sets)");
+  bench::JsonReport report("e2",
+                           "acceptance ratio vs U_M on light task sets");
+  report.add_table("rows", table);
+  report.write();
 
   std::cout << "\n50%-acceptance frontier:\n";
   for (std::size_t a = 0; a < roster.size(); ++a) {

@@ -11,6 +11,9 @@
 
 int main() {
   using namespace rmts;
+  bench::JsonReport report("e3",
+                           "acceptance ratio vs U_M on general task sets, per M");
+  using namespace rmts;
   for (const std::size_t m : {4u, 8u, 16u}) {
     const std::size_t n = 4 * m;
     bench::banner("E3 acceptance, general task sets, M=" + std::to_string(m),
@@ -35,8 +38,10 @@ int main() {
         std::make_shared<GlobalEdfGfb>(),
     };
     const AcceptanceResult result = run_acceptance(config, roster);
-    result.to_table().print_text(
+    const Table table = result.to_table();
+    table.print_text(
         std::cout, "acceptance ratio vs U_M (general sets, M=" + std::to_string(m) + ")");
+    report.add_table("acceptance_m" + std::to_string(m), table);
 
     std::cout << "50%-acceptance frontier:";
     for (std::size_t a = 0; a < roster.size(); ++a) {
@@ -45,5 +50,6 @@ int main() {
     }
     std::cout << "\n\n";
   }
+  report.write();
   return 0;
 }

@@ -35,7 +35,8 @@ int main() {
       bench::prm_ffd_rta(),
   };
   const AcceptanceResult result = run_acceptance(config, roster);
-  result.to_table().print_text(std::cout,
+  const Table table = result.to_table();
+  table.print_text(std::cout,
                                "acceptance ratio vs U_M (harmonic light sets)");
 
   std::cout << "\n99%-acceptance frontier:\n";
@@ -43,5 +44,9 @@ int main() {
     std::cout << "  " << result.algorithm_names[a] << ": U_M = "
               << Table::num(result.last_point_above(a, 0.99), 3) << '\n';
   }
+  bench::JsonReport report("e4",
+                           "acceptance ratio vs U_M on harmonic light task sets");
+  report.add_table("rows", table);
+  report.write();
   return 0;
 }

@@ -20,6 +20,8 @@ int main() {
 
   Table summary({"K", "HC bound", "guarantee (clamped)", "measured U_M at >=99% acc",
                  "measured U_M at >=50% acc"});
+  bench::JsonReport report("e5",
+                           "acceptance vs number of harmonic chains, plus guarantee frontier");
   for (std::size_t k = 1; k <= 4; ++k) {
     AcceptanceConfig config;
     config.workload.tasks = n;
@@ -32,8 +34,10 @@ int main() {
 
     const TestRoster roster{bench::rmts_hc()};
     const AcceptanceResult result = run_acceptance(config, roster);
-    result.to_table().print_text(std::cout,
+    const Table acceptance = result.to_table();
+    acceptance.print_text(std::cout,
                                  "RM-TS[HC] acceptance, K=" + std::to_string(k));
+    report.add_table("acceptance_k" + std::to_string(k), acceptance);
     std::cout << '\n';
 
     const double hc = harmonic_chain_bound_value(k);
@@ -43,5 +47,7 @@ int main() {
                      Table::num(result.last_point_above(0, 0.5), 3)});
   }
   summary.print_text(std::cout, "guarantee vs measured frontier per K");
+  report.add_table("summary", summary);
+  report.write();
   return 0;
 }

@@ -40,5 +40,8 @@ int main() {
                    Table::num(result.mean[2], 3), Table::num(result.mean[3], 3)});
   }
   table.print_text(std::cout, "mean breakdown normalized utilization");
+  bench::JsonReport report("e6", "mean breakdown utilization vs M");
+  report.add_table("rows", table);
+  report.write();
   return 0;
 }

@@ -43,5 +43,9 @@ int main() {
                    Table::num(result.mean[2], 3)});
   }
   table.print_text(std::cout, "mean breakdown normalized utilization vs N/M");
+  bench::JsonReport report("e7",
+                           "mean breakdown utilization vs tasks-per-processor");
+  report.add_table("rows", table);
+  report.write();
   return 0;
 }

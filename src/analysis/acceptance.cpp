@@ -2,7 +2,7 @@
 
 #include <atomic>
 
-#include "analysis/parallel.hpp"
+#include "common/parallel.hpp"
 #include "common/error.hpp"
 
 namespace rmts {

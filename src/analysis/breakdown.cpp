@@ -2,22 +2,10 @@
 
 #include <algorithm>
 
-#include "analysis/parallel.hpp"
+#include "common/parallel.hpp"
 #include "common/error.hpp"
 
 namespace rmts {
-
-namespace {
-
-/// Scales `base` so its normalized utilization is ~`target`, respecting
-/// the per-task U <= 1 cap (the caller's `hi` should stay below the level
-/// where the cap binds, or the achieved level falls short of the target).
-TaskSet scale_to(const TaskSet& base, std::size_t processors, double target) {
-  const double current = base.normalized_utilization(processors);
-  return base.scaled_wcets(target / current);
-}
-
-}  // namespace
 
 double breakdown_utilization(const SchedulabilityTest& test, const TaskSet& base,
                              std::size_t processors, double lo, double hi,
@@ -25,21 +13,30 @@ double breakdown_utilization(const SchedulabilityTest& test, const TaskSet& base
   if (!(lo > 0.0) || lo > hi) {
     throw InvalidConfigError("breakdown_utilization: bad [lo, hi]");
   }
+  // U_M(base) is invariant across the whole bisection: compute it once and
+  // scale every probe against it instead of re-summing n utilizations per
+  // probe.
+  const double current = base.normalized_utilization(processors);
+  // Scales `base` so its normalized utilization is ~`target`, respecting
+  // the per-task U <= 1 cap (the caller's `hi` should stay below the level
+  // where the cap binds, or the achieved level falls short of the target).
+  const auto scale_to = [&](double target) {
+    return base.scaled_wcets(target / current);
+  };
   // Keep the scale below the point where some task would exceed U = 1;
   // beyond it scaled_wcets clamps and the "shape" is no longer preserved.
-  const double cap =
-      base.normalized_utilization(processors) / base.max_utilization();
+  const double cap = current / base.max_utilization();
   hi = std::min(hi, cap);
   if (hi < lo) return 0.0;
 
-  if (!test.accepts(scale_to(base, processors, lo), processors)) return 0.0;
-  if (test.accepts(scale_to(base, processors, hi), processors)) return hi;
+  if (!test.accepts(scale_to(lo), processors)) return 0.0;
+  if (test.accepts(scale_to(hi), processors)) return hi;
 
   double good = lo;
   double bad = hi;
   while (bad - good > tol) {
     const double mid = 0.5 * (good + bad);
-    if (test.accepts(scale_to(base, processors, mid), processors)) {
+    if (test.accepts(scale_to(mid), processors)) {
       good = mid;
     } else {
       bad = mid;

@@ -163,12 +163,15 @@ RobustnessReport analyze_robustness(const TaskSet& tasks,
   SimConfig base;
   base.horizon = recommended_horizon(tasks, config.horizon_cap);
   base.policy = config.policy;
+  // The bisections below re-simulate the same (tasks, assignment) dozens of
+  // times; one workspace makes every probe after the first allocation-free.
+  SimWorkspace workspace;
   const auto clean = [&](double factor, Time jitter) {
     SimConfig sim = base;
     sim.faults.seed = config.fault_seed;
     sim.faults.overrun_factor = factor;
     sim.faults.release_jitter = jitter;
-    return simulate(tasks, assignment, sim).schedulable;
+    return simulate(tasks, assignment, sim, workspace).schedulable;
   };
 
   RobustnessReport report;
@@ -223,13 +226,14 @@ MarginSoundness check_margin_soundness(const Partitioner& algorithm,
   validate(config);
   if (tasks.empty()) throw InvalidConfigError("robustness: empty task set");
 
+  SimWorkspace workspace;
   const auto simulates_clean = [&](const TaskSet& modified) {
     const Assignment assignment = algorithm.partition(modified, processors);
     if (!assignment.success) return false;
     SimConfig sim;
     sim.horizon = recommended_horizon(modified, config.horizon_cap);
     sim.policy = config.policy;
-    return simulate(modified, assignment, sim).schedulable;
+    return simulate(modified, assignment, sim, workspace).schedulable;
   };
 
   MarginSoundness result;

@@ -1,6 +1,6 @@
-#include "analysis/parallel.hpp"
+#include "common/parallel.hpp"
 
-#include "analysis/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rmts {
 

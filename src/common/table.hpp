@@ -25,6 +25,15 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Raw cells, for non-tabular serializers (bench JSON reports).
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
   /// Formats a double with `digits` decimals (locale-independent).
   static std::string num(double value, int digits = 3);
 

@@ -1,4 +1,4 @@
-#include "analysis/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 
 #include <algorithm>
 #include <atomic>

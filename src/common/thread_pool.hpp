@@ -1,6 +1,7 @@
 // Persistent worker pool behind parallel_for.
 //
-// The experiment sweeps (E2-E7, E10-E15) call parallel_for once per sweep
+// The experiment sweeps (E2-E7, E10-E15) and the batched simulation driver
+// (sim/simulator.hpp simulate_batch) call parallel_for once per sweep
 // or even per refinement step; spawning and joining fresh std::threads each
 // time puts thread creation on the hot path and a strided static partition
 // leaves workers idle whenever per-index cost is uneven (e.g. breakdown

@@ -215,13 +215,15 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     sim.policy = policy;
     sim.record_trace = options.gantt;
     sim.faults = options.faults;
-    SimResult run;
+    SimWorkspace workspace;
+    const SimResult* run_ptr = nullptr;
     try {
-      run = simulate(tasks, assignment, sim);
+      run_ptr = &simulate(tasks, assignment, sim, workspace);
     } catch (const Error& error) {
       err << "rmts_cli: " << error.what() << '\n';
       return 2;
     }
+    const SimResult& run = *run_ptr;
     if (options.gantt) {
       out << render_gantt(run.trace, assignment.processors.size(),
                           run.simulated_until, 100);

@@ -1,83 +1,48 @@
+// Indexed simulator core.  See simulator.hpp for the architecture summary
+// and simulator_reference.{hpp,cpp} for the naive oracle this core must
+// match bit-for-bit.
+//
+// The bit-identity argument, phase by phase: the reference core finds the
+// next event by scanning every task and processor, then processes the due
+// events in a fixed phase order (failure, demotions, completions,
+// activations, releases, dispatch), each phase in ascending index order.
+// This core obtains the same next-event time from an indexed min-heap
+// whose slots are (activation, release, completion, budget, failure)
+// events, pops all events due at that instant -- the heap tie-breaks on
+// slot id, so each category pops in ascending index -- and runs the exact
+// same phase bodies over the popped lists.  Running-job state (remaining
+// execution, containment budget, per-processor busy time), which the
+// reference decrements on every event, is kept implicit here as absolute
+// event times and synchronized lazily (sync_run) whenever a phase touches
+// the job; the arithmetic telescopes to the reference's per-event
+// decrements exactly, in integers.  Dispatch only re-picks processors
+// whose ready queue or running job changed ("touched"); untouched
+// processors cannot change their pick, so the emitted trace is identical.
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
-#include <map>
-#include <optional>
-#include <set>
 
 #include "common/checked_math.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace rmts {
 
+namespace detail {
+
 namespace {
 
-/// One piece of a task's split chain, in execution order.
-struct Piece {
-  std::size_t processor;
-  Time wcet;
-  /// EDF mode: activation offset from the job release (window start) and
-  /// the piece's relative deadline end.  Unused under fixed priority.
-  Time window_start;
-  Time window_end;
-};
+/// Sentinel rank / processor index ("none").
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
-/// Execution chains per RM rank, validated against the task set.
-std::vector<std::vector<Piece>> build_chains(const TaskSet& tasks,
-                                             const Assignment& assignment,
-                                             DispatchPolicy policy) {
-  // part -> (processor, subtask), per rank; std::map keeps chain order.
-  struct Raw {
-    std::size_t processor;
-    Time wcet;
-    Time deadline;
-  };
-  std::vector<std::map<int, Raw>> parts(tasks.size());
-  std::vector<std::size_t> rank_of_id;
-  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
-    const TaskId id = tasks[rank].id;
-    if (id >= rank_of_id.size()) rank_of_id.resize(id + 1, tasks.size());
-    rank_of_id[id] = rank;
-  }
-
-  for (std::size_t q = 0; q < assignment.processors.size(); ++q) {
-    for (const Subtask& s : assignment.processors[q].subtasks) {
-      if (s.task_id >= rank_of_id.size() || rank_of_id[s.task_id] == tasks.size()) {
-        throw InvalidConfigError("simulate: subtask of unknown task");
-      }
-      if (s.wcet <= 0) throw InvalidConfigError("simulate: non-positive piece wcet");
-      const std::size_t rank = rank_of_id[s.task_id];
-      if (!parts[rank].emplace(s.part, Raw{q, s.wcet, s.deadline}).second) {
-        throw InvalidConfigError("simulate: duplicate chain part");
-      }
-    }
-  }
-
-  std::vector<std::vector<Piece>> chains(tasks.size());
-  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
-    Time total = 0;
-    Time window = 0;
-    int expected_part = 0;
-    for (const auto& [part, raw] : parts[rank]) {
-      if (part != expected_part++) {
-        throw InvalidConfigError("simulate: chain with missing part");
-      }
-      total += raw.wcet;
-      chains[rank].push_back(
-          Piece{raw.processor, raw.wcet, window, window + raw.deadline});
-      window += raw.deadline;
-    }
-    if (total != tasks[rank].wcet) {
-      throw InvalidConfigError("simulate: chain does not cover task wcet");
-    }
-    if (policy == DispatchPolicy::kEarliestDeadlineFirst &&
-        window > tasks[rank].period) {
-      throw InvalidConfigError("simulate: EDF windows exceed the period");
-    }
-  }
-  return chains;
+/// Saturating addition of non-negative Times (fault-scaled execution times
+/// can reach overflow scale; event times must stay comparable, not UB).
+Time add_sat(Time a, Time b) noexcept {
+  const auto sum = checked_add(a, b);
+  return sum ? *sum : kTimeInfinity;
 }
 
 void validate_faults(const FaultModel& faults, std::size_t processors) {
@@ -103,12 +68,17 @@ void validate_faults(const FaultModel& faults, std::size_t processors) {
   }
 }
 
-/// Saturating addition of non-negative Times (fault-scaled execution times
-/// can reach overflow scale; event times must stay comparable, not UB).
-Time add_sat(Time a, Time b) noexcept {
-  const auto sum = checked_add(a, b);
-  return sum ? *sum : kTimeInfinity;
-}
+}  // namespace
+
+/// One piece of a task's split chain, in execution order.
+struct Piece {
+  std::size_t processor;
+  Time wcet;
+  /// EDF mode: activation offset from the job release (window start) and
+  /// the piece's relative deadline end.  Unused under fixed priority.
+  Time window_start;
+  Time window_end;
+};
 
 struct Job {
   bool active{false};
@@ -125,109 +95,473 @@ struct Job {
   bool degraded{false};     // injected execution exceeds the nominal WCET
 };
 
-}  // namespace
-
-SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
-                   const SimConfig& config) {
-  if (config.horizon <= 0) throw InvalidConfigError("simulate: horizon must be positive");
-  if (!config.offsets.empty() && config.offsets.size() != tasks.size()) {
-    throw InvalidConfigError("simulate: offsets size mismatch");
+/// Indexed min-heap over a fixed universe of event slots.  Every slot is
+/// always present (absent events park at kTimeInfinity), so updates are
+/// pure decrease/increase-key sifts and the structure never allocates
+/// after reset().  Ties break on slot id, which the engine exploits to pop
+/// same-instant events in phase order (activations, releases, completions,
+/// budgets, failure -- each ascending).
+class EventHeap {
+ public:
+  void reset(std::size_t slots) {
+    keys_.assign(slots, kTimeInfinity);
+    heap_.resize(slots);
+    pos_.resize(slots);
+    // Identity layout is a valid heap: all keys equal, ids ascending.
+    for (std::size_t i = 0; i < slots; ++i) {
+      heap_[i] = i;
+      pos_[i] = i;
+    }
   }
+
+  [[nodiscard]] Time min_key() const noexcept {
+    return heap_.empty() ? kTimeInfinity : keys_[heap_[0]];
+  }
+  [[nodiscard]] std::size_t min_id() const noexcept { return heap_[0]; }
+
+  void set(std::size_t id, Time key) noexcept {
+    const Time old = keys_[id];
+    if (old == key) return;
+    keys_[id] = key;
+    if (key < old) {
+      sift_up(pos_[id]);
+    } else {
+      sift_down(pos_[id]);
+    }
+  }
+
+ private:
+  [[nodiscard]] bool before(std::size_t a, std::size_t b) const noexcept {
+    return keys_[a] < keys_[b] || (keys_[a] == keys_[b] && a < b);
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    const std::size_t id = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(id, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i]] = i;
+      i = parent;
+    }
+    heap_[i] = id;
+    pos_[id] = i;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t id = heap_[i];
+    const std::size_t size = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= size) break;
+      if (child + 1 < size && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], id)) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i]] = i;
+      i = child;
+    }
+    heap_[i] = id;
+    pos_[id] = i;
+  }
+
+  std::vector<Time> keys_;         // slot id -> event time
+  std::vector<std::size_t> heap_;  // heap order -> slot id
+  std::vector<std::size_t> pos_;   // slot id -> heap order
+};
+
+/// Fixed-priority ready queue: two rank bitmaps (nominal and demoted
+/// priority bands).  pick() is a find-first-set over the nominal band,
+/// falling back to the demoted band -- exactly the reference pick(): the
+/// lowest-rank non-demoted candidate, else the lowest-rank demoted one.
+class FpReadyQueue {
+ public:
+  void reset(std::size_t ranks) {
+    const std::size_t words = (ranks + 63) / 64;
+    normal_.assign(words, 0);
+    demoted_.assign(words, 0);
+    count_ = 0;
+  }
+
+  void insert(std::size_t rank, bool demoted, Time /*edf_key*/) noexcept {
+    auto& bits = demoted ? demoted_ : normal_;
+    bits[rank >> 6] |= std::uint64_t{1} << (rank & 63);
+    ++count_;
+  }
+
+  bool erase(std::size_t rank) noexcept {
+    const std::size_t w = rank >> 6;
+    const std::uint64_t mask = std::uint64_t{1} << (rank & 63);
+    if (((normal_[w] | demoted_[w]) & mask) == 0) return false;
+    normal_[w] &= ~mask;
+    demoted_[w] &= ~mask;
+    --count_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::size_t rank) const noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (rank & 63);
+    return ((normal_[rank >> 6] | demoted_[rank >> 6]) & mask) != 0;
+  }
+
+  /// Moves a ready rank from the nominal to the background band.
+  void demote(std::size_t rank) noexcept {
+    const std::size_t w = rank >> 6;
+    const std::uint64_t mask = std::uint64_t{1} << (rank & 63);
+    if ((normal_[w] & mask) != 0) {
+      normal_[w] &= ~mask;
+      demoted_[w] |= mask;
+    }
+  }
+
+  void clear() noexcept {
+    std::fill(normal_.begin(), normal_.end(), 0);
+    std::fill(demoted_.begin(), demoted_.end(), 0);
+    count_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  [[nodiscard]] std::size_t pick() const noexcept {
+    const std::size_t first_normal = first_set(normal_);
+    return first_normal != kNone ? first_normal : first_set(demoted_);
+  }
+
+ private:
+  [[nodiscard]] static std::size_t first_set(
+      const std::vector<std::uint64_t>& bits) noexcept {
+    for (std::size_t w = 0; w < bits.size(); ++w) {
+      if (bits[w] != 0) {
+        return w * 64 + static_cast<std::size_t>(std::countr_zero(bits[w]));
+      }
+    }
+    return kNone;
+  }
+
+  std::vector<std::uint64_t> normal_;
+  std::vector<std::uint64_t> demoted_;
+  std::size_t count_{0};
+};
+
+/// EDF ready queue: an indexed min-heap keyed by (demoted, absolute piece
+/// deadline, rank).  The lexicographic order reproduces the reference
+/// pick() exactly: earliest-deadline non-demoted candidate with rank as
+/// the deterministic tie-break, demoted candidates only when no nominal
+/// work is ready.
+class EdfReadyQueue {
+ public:
+  void reset(std::size_t ranks) {
+    pos_.assign(ranks, kNone);
+    heap_.clear();
+  }
+
+  void insert(std::size_t rank, bool demoted, Time key) {
+    heap_.push_back(Entry{key, rank, demoted});
+    pos_[rank] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+  }
+
+  bool erase(std::size_t rank) noexcept {
+    const std::size_t i = pos_[rank];
+    if (i == kNone) return false;
+    pos_[rank] = kNone;
+    const std::size_t last = heap_.size() - 1;
+    if (i != last) {
+      heap_[i] = heap_[last];
+      pos_[heap_[i].rank] = i;
+      heap_.pop_back();
+      sift_down(i);
+      sift_up(i);
+    } else {
+      heap_.pop_back();
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::size_t rank) const noexcept {
+    return pos_[rank] != kNone;
+  }
+
+  /// Drops a ready rank to the background band (key grows; sift down).
+  void demote(std::size_t rank) noexcept {
+    const std::size_t i = pos_[rank];
+    if (i == kNone) return;
+    heap_[i].demoted = true;
+    sift_down(i);
+  }
+
+  void clear() noexcept {
+    for (const Entry& entry : heap_) pos_[entry.rank] = kNone;
+    heap_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] std::size_t pick() const noexcept {
+    return heap_.empty() ? kNone : heap_[0].rank;
+  }
+
+ private:
+  struct Entry {
+    Time key;
+    std::size_t rank;
+    bool demoted;
+  };
+
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.demoted != b.demoted) return !a.demoted;
+    if (a.key != b.key) return a.key < b.key;
+    return a.rank < b.rank;
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    const Entry entry = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(entry, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].rank] = i;
+      i = parent;
+    }
+    heap_[i] = entry;
+    pos_[entry.rank] = i;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const Entry entry = heap_[i];
+    const std::size_t size = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= size) break;
+      if (child + 1 < size && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], entry)) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i].rank] = i;
+      i = child;
+    }
+    heap_[i] = entry;
+    pos_[entry.rank] = i;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> pos_;  // rank -> heap index, kNone if absent
+};
+
+/// Everything a run needs, owned by SimWorkspace and recycled across
+/// simulate() calls; no member allocates once its high-water capacity is
+/// reached.
+struct SimState {
+  // Split chains, flattened: pieces of rank r live at
+  // [chain_off[r], chain_off[r+1]).
+  std::vector<std::size_t> rank_of_id;
+  std::vector<std::size_t> chain_off;
+  std::vector<Piece> pieces;
+  std::vector<char> piece_filled;  // chain-build duplicate detection
+  // Per-run dynamic state.
+  std::vector<Job> job;
+  std::vector<Time> next_nominal;
+  std::vector<Rng> stream;
+  EventHeap heap;
+  std::vector<FpReadyQueue> fp_ready;
+  std::vector<EdfReadyQueue> edf_ready;
+  std::vector<std::size_t> running;  // per processor; kNone = idle
+  std::vector<Time> run_since;       // dispatch instant of the running job
+  std::vector<char> dead;
+  std::vector<char> touched;  // ready/running changed this event point
+  struct Traced {
+    std::size_t rank;  // kNone = traced as idle
+    int part;
+  };
+  std::vector<Traced> traced;
+  // Same-instant event lists, popped from the heap each event point.
+  std::vector<std::size_t> due_activation;
+  std::vector<std::size_t> due_release;
+  std::vector<std::size_t> due_completion;
+  std::vector<std::size_t> due_budget;
+  SimResult result;
+};
+
+namespace {
+
+/// Validates the assignment against the task set and (re)builds the
+/// flattened chains in `s`, allocation-free at steady state.  Matches the
+/// reference build_chains() checks and messages.
+void build_chains(SimState& s, const TaskSet& tasks, const Assignment& assignment,
+                  DispatchPolicy policy) {
+  const std::size_t n = tasks.size();
+  TaskId max_id = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    max_id = std::max(max_id, tasks[rank].id);
+  }
+  s.rank_of_id.assign(static_cast<std::size_t>(max_id) + 1, n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    s.rank_of_id[tasks[rank].id] = rank;
+  }
+
+  // Pass 1: count pieces per rank (and validate ids/wcets).
+  s.chain_off.assign(n + 1, 0);
+  for (const ProcessorAssignment& proc : assignment.processors) {
+    for (const Subtask& sub : proc.subtasks) {
+      if (sub.task_id >= s.rank_of_id.size() || s.rank_of_id[sub.task_id] == n) {
+        throw InvalidConfigError("simulate: subtask of unknown task");
+      }
+      if (sub.wcet <= 0) throw InvalidConfigError("simulate: non-positive piece wcet");
+      ++s.chain_off[s.rank_of_id[sub.task_id] + 1];
+    }
+  }
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    s.chain_off[rank + 1] += s.chain_off[rank];
+  }
+
+  // Pass 2: place each piece at its part slot; a part outside [0, count)
+  // implies some part is missing, a filled slot is a duplicate.
+  const std::size_t total = s.chain_off[n];
+  s.pieces.assign(total, Piece{});
+  s.piece_filled.assign(total, 0);
+  for (std::size_t q = 0; q < assignment.processors.size(); ++q) {
+    for (const Subtask& sub : assignment.processors[q].subtasks) {
+      const std::size_t rank = s.rank_of_id[sub.task_id];
+      const std::size_t count = s.chain_off[rank + 1] - s.chain_off[rank];
+      if (sub.part < 0 || static_cast<std::size_t>(sub.part) >= count) {
+        throw InvalidConfigError("simulate: chain with missing part");
+      }
+      const std::size_t idx = s.chain_off[rank] + static_cast<std::size_t>(sub.part);
+      if (s.piece_filled[idx]) {
+        throw InvalidConfigError("simulate: duplicate chain part");
+      }
+      s.piece_filled[idx] = 1;
+      // window_end temporarily holds the piece's relative deadline; the
+      // window walk below turns it into the absolute-in-job offset.
+      s.pieces[idx] = Piece{q, sub.wcet, 0, sub.deadline};
+    }
+  }
+
+  // Pass 3: chain-order walk per rank -- window offsets + coverage.
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    Time covered = 0;
+    Time window = 0;
+    for (std::size_t idx = s.chain_off[rank]; idx < s.chain_off[rank + 1]; ++idx) {
+      Piece& piece = s.pieces[idx];
+      covered += piece.wcet;
+      const Time delta = piece.window_end;
+      piece.window_start = window;
+      piece.window_end = window + delta;
+      window += delta;
+    }
+    if (covered != tasks[rank].wcet) {
+      throw InvalidConfigError("simulate: chain does not cover task wcet");
+    }
+    if (policy == DispatchPolicy::kEarliestDeadlineFirst &&
+        window > tasks[rank].period) {
+      throw InvalidConfigError("simulate: EDF windows exceed the period");
+    }
+  }
+}
+
+/// The event loop, templated over the ready-queue type (compile-time
+/// dispatch-policy specialization; no per-event branching or virtual
+/// calls).  Mirrors the reference core phase for phase -- see the file
+/// comment for why the results are bit-identical.
+template <class Queue>
+void run_engine(SimState& s, std::vector<Queue>& ready, const TaskSet& tasks,
+                const Assignment& assignment, const SimConfig& config) {
   const bool edf = config.policy == DispatchPolicy::kEarliestDeadlineFirst;
   const std::size_t n = tasks.size();
   const std::size_t m = assignment.processors.size();
-  const auto chains = build_chains(tasks, assignment, config.policy);
   const FaultModel& faults = config.faults;
-  validate_faults(faults, m);
   const bool overruns = faults.injects_overruns();
   const bool budget_enforced =
       faults.containment == ContainmentPolicy::kBudgetEnforcement;
   const bool demotion =
       faults.containment == ContainmentPolicy::kPriorityDemotion;
 
-  SimResult result;
+  SimResult& result = s.result;
+  result.schedulable = false;
+  result.misses.clear();
+  result.simulated_until = 0;
+  result.events = 0;
+  result.jobs_released = 0;
+  result.jobs_completed = 0;
+  result.preemptions = 0;
+  result.migrations = 0;
   result.busy_time.assign(m, 0);
   result.max_response.assign(n, 0);
+  result.jobs_degraded = 0;
   result.degraded_per_task.assign(n, 0);
+  result.jobs_aborted = 0;
+  result.jobs_demoted = 0;
+  result.subtasks_orphaned = 0;
+  result.trace.clear();
 
   // Per-task fault streams: draws happen in rank order at each release
   // event, so the pattern is a pure function of (seed, task, job index).
-  std::vector<Rng> stream;
+  s.stream.clear();
   if (overruns || faults.release_jitter > 0) {
     const Rng base(faults.seed);
-    stream.reserve(n);
-    for (std::size_t rank = 0; rank < n; ++rank) stream.push_back(base.fork(rank));
+    s.stream.reserve(n);
+    for (std::size_t rank = 0; rank < n; ++rank) s.stream.push_back(base.fork(rank));
   }
 
-  std::vector<Job> job(n);
+  // Event-slot layout (ids double as same-instant pop order).
+  const std::size_t slot_release = n;       // activations occupy [0, n)
+  const std::size_t slot_completion = 2 * n;
+  const std::size_t slot_budget = 2 * n + m;
+  const std::size_t slot_failure = 2 * n + 2 * m;
+  s.heap.reset(slot_failure + 1);
+  if (faults.failed_processor != kNoProcessor) {
+    s.heap.set(slot_failure, faults.failure_time);
+  }
+
+  s.job.assign(n, Job{});
+  s.next_nominal.resize(n);
   // Nominal (periodic-grid) release instants anchor deadlines; the actual
   // release may lag by the drawn jitter.
-  std::vector<Time> next_nominal(n, 0);
-  std::vector<Time> next_release(n, 0);
   const auto schedule_release = [&](std::size_t rank) {
-    Time actual = next_nominal[rank];
+    Time actual = s.next_nominal[rank];
     if (faults.release_jitter > 0) {
-      actual = add_sat(actual, stream[rank].uniform_int(0, faults.release_jitter));
+      actual = add_sat(actual, s.stream[rank].uniform_int(0, faults.release_jitter));
     }
-    next_release[rank] = actual;
+    s.heap.set(slot_release + rank, actual);
   };
   for (std::size_t rank = 0; rank < n; ++rank) {
-    next_nominal[rank] = config.offsets.empty() ? 0 : config.offsets[rank];
+    s.next_nominal[rank] = config.offsets.empty() ? 0 : config.offsets[rank];
     schedule_release(rank);
   }
 
-  // Ready ranks per processor (rank-ordered for deterministic ties);
-  // dispatch key depends on the policy.
-  std::vector<std::set<std::size_t>> ready(m);
-  std::vector<std::optional<std::size_t>> running(m);
-  std::vector<char> dead(m, 0);
-  bool failure_pending = faults.failed_processor != kNoProcessor;
-  // Last (rank, part) each processor was traced as executing; nullopt =
-  // idle.  Tracked separately from `running` because completions reset
-  // `running` before the dispatch step runs.
-  std::vector<std::optional<std::pair<std::size_t, std::size_t>>> traced(m);
-  // EDF window activations that are still in the future: rank -> time.
-  std::vector<Time> activation(n, kTimeInfinity);
+  ready.resize(m);
+  for (Queue& queue : ready) queue.reset(n);
+  s.running.assign(m, kNone);
+  s.run_since.assign(m, 0);
+  s.dead.assign(m, 0);
+  s.touched.assign(m, 0);
+  s.traced.assign(m, SimState::Traced{kNone, 0});
 
+  const auto chain_len = [&](std::size_t rank) {
+    return s.chain_off[rank + 1] - s.chain_off[rank];
+  };
+  const auto piece_of = [&](std::size_t rank, std::size_t pos) -> const Piece& {
+    return s.pieces[s.chain_off[rank] + pos];
+  };
   // Piece absolute-deadline key for EDF dispatch.
   const auto edf_key = [&](std::size_t rank) {
-    return job[rank].release + chains[rank][job[rank].pos].window_end;
-  };
-  // Best ready rank under the active policy; demoted jobs only run when no
-  // nominal-priority work is ready (background priority).
-  const auto pick = [&](const std::set<std::size_t>& candidates)
-      -> std::optional<std::size_t> {
-    if (candidates.empty()) return std::nullopt;
-    std::optional<std::size_t> best;
-    std::optional<std::size_t> best_demoted;
-    for (const std::size_t rank : candidates) {
-      auto& slot = job[rank].demoted ? best_demoted : best;
-      if (!slot) {
-        slot = rank;
-      } else if (edf && edf_key(rank) < edf_key(*slot)) {
-        slot = rank;  // FP keeps the first (lowest) rank: sets are ordered
-      }
-      if (!edf && best) break;  // lowest non-demoted rank found
-    }
-    return best ? best : best_demoted;
+    return s.job[rank].release + piece_of(rank, s.job[rank].pos).window_end;
   };
   /// Injected execution time of chain piece `pos` for the job of `rank`.
   const auto injected_exec = [&](std::size_t rank, std::size_t pos) {
-    const Job& j = job[rank];
-    Time exec = chains[rank][pos].wcet;
+    const Job& j = s.job[rank];
+    Time exec = piece_of(rank, pos).wcet;
     if (j.factor != 1.0) {
       const double scaled = j.factor * static_cast<double>(exec);
       exec = scaled >= static_cast<double>(kTimeInfinity)
                  ? kTimeInfinity
                  : std::max<Time>(1, static_cast<Time>(std::llround(scaled)));
     }
-    if (pos + 1 == chains[rank].size()) exec = add_sat(exec, j.extra);
+    if (pos + 1 == chain_len(rank)) exec = add_sat(exec, j.extra);
     return exec;
   };
   /// Loads piece `job[rank].pos` into the job's execution state.
   const auto enter_piece = [&](std::size_t rank) {
-    Job& j = job[rank];
-    const Time nominal = chains[rank][j.pos].wcet;
+    Job& j = s.job[rank];
+    const Time nominal = piece_of(rank, j.pos).wcet;
     const Time exec = injected_exec(rank, j.pos);
     j.budget_left = nominal;
     j.abort_at_budget = budget_enforced && exec > nominal;
@@ -236,95 +570,119 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
   // Queue a piece: immediately ready, or parked until its window opens.
   // Pieces bound for a failed processor are orphaned and never queued.
   const auto enqueue = [&](std::size_t rank, Time now) {
-    const Piece& piece = chains[rank][job[rank].pos];
-    if (dead[piece.processor]) {
+    const Piece& piece = piece_of(rank, s.job[rank].pos);
+    if (s.dead[piece.processor]) {
       ++result.subtasks_orphaned;
       return;
     }
     const Time start =
-        edf ? std::max(now, job[rank].release + piece.window_start) : now;
+        edf ? std::max(now, s.job[rank].release + piece.window_start) : now;
     if (start <= now) {
-      ready[piece.processor].insert(rank);
+      ready[piece.processor].insert(rank, s.job[rank].demoted, edf_key(rank));
+      s.touched[piece.processor] = 1;
     } else {
-      activation[rank] = start;
+      s.heap.set(rank, start);  // activation slot
     }
+  };
+  // Brings the running job on `q` (and the processor's busy time) up to
+  // `to`.  Telescopes to the reference core's per-event decrements.
+  const auto sync_run = [&](std::size_t q, Time to) {
+    const Time elapsed = to - s.run_since[q];
+    if (elapsed == 0) return;
+    Job& j = s.job[s.running[q]];
+    j.remaining -= elapsed;
+    j.budget_left = std::max<Time>(0, j.budget_left - elapsed);
+    result.busy_time[q] += elapsed;
+    s.run_since[q] = to;
   };
 
   Time now = 0;
   bool aborted = false;
-  while (!aborted) {
+  for (;;) {
     // Next event: release, running-piece completion or budget exhaustion,
-    // window activation, or processor failure.
-    Time t_next = kTimeInfinity;
-    for (std::size_t rank = 0; rank < n; ++rank) {
-      t_next = std::min({t_next, next_release[rank], activation[rank]});
-    }
-    for (std::size_t q = 0; q < m; ++q) {
-      if (!running[q]) continue;
-      const Job& j = job[*running[q]];
-      t_next = std::min(t_next, add_sat(now, j.remaining));
-      if (demotion && !j.demoted && j.budget_left < j.remaining) {
-        t_next = std::min(t_next, add_sat(now, j.budget_left));
-      }
-    }
-    if (failure_pending) t_next = std::min(t_next, faults.failure_time);
+    // window activation, or processor failure -- the heap minimum.
+    const Time t_next = s.heap.min_key();
+    ++result.events;
 
     // Events at exactly the horizon are still processed so deadlines on
     // the boundary are checked; only later events are cut off.
-    const bool past_end = t_next > config.horizon;
-    const Time target = past_end ? config.horizon : t_next;
-
-    // Advance every processor to the target instant.
-    const Time elapsed = target - now;
-    for (std::size_t q = 0; q < m; ++q) {
-      if (!running[q]) continue;
-      Job& j = job[*running[q]];
-      j.remaining -= elapsed;
-      j.budget_left = std::max<Time>(0, j.budget_left - elapsed);
-      result.busy_time[q] += elapsed;
+    if (t_next > config.horizon) {
+      now = config.horizon;
+      break;
     }
-    now = target;
-    if (past_end) break;
+    now = t_next;
+
+    // Pop everything due at this instant.  Ids tie-break the heap, so each
+    // category list comes out in ascending index -- the reference's scan
+    // order.
+    s.due_activation.clear();
+    s.due_release.clear();
+    s.due_completion.clear();
+    s.due_budget.clear();
+    bool failure_due = false;
+    while (s.heap.min_key() == now) {
+      const std::size_t id = s.heap.min_id();
+      s.heap.set(id, kTimeInfinity);
+      if (id < slot_release) {
+        s.due_activation.push_back(id);
+      } else if (id < slot_completion) {
+        s.due_release.push_back(id - slot_release);
+      } else if (id < slot_budget) {
+        s.due_completion.push_back(id - slot_completion);
+      } else if (id < slot_failure) {
+        s.due_budget.push_back(id - slot_budget);
+      } else {
+        failure_due = true;
+      }
+    }
 
     // Processor failure: strand whatever is queued there.  Affected jobs
     // stay active but can never progress, so they surface as deadline
     // misses at their next release.
-    if (failure_pending && faults.failure_time == now) {
-      failure_pending = false;
+    if (failure_due) {
       const std::size_t q = faults.failed_processor;
-      dead[q] = 1;
+      s.dead[q] = 1;
       result.subtasks_orphaned += ready[q].size();
       ready[q].clear();
-      running[q].reset();
+      if (s.running[q] != kNone) {
+        sync_run(q, now);
+        s.running[q] = kNone;
+        s.heap.set(slot_completion + q, kTimeInfinity);
+        s.heap.set(slot_budget + q, kTimeInfinity);
+      }
+      s.touched[q] = 1;
     }
 
     // Priority demotions: a running piece that exhausted its nominal WCET
     // budget while work remains drops to background priority.
-    if (demotion) {
-      for (std::size_t q = 0; q < m; ++q) {
-        if (!running[q]) continue;
-        const std::size_t rank = *running[q];
-        Job& j = job[rank];
-        if (!j.demoted && j.budget_left == 0 && j.remaining > 0) {
-          j.demoted = true;
-          ++result.jobs_demoted;
-          if (config.record_trace) {
-            result.trace.push_back(TraceEvent{TraceEvent::Kind::kDemote, now, q,
-                                              tasks[rank].id,
-                                              static_cast<int>(j.pos), false});
-          }
-        }
+    for (const std::size_t q : s.due_budget) {
+      if (s.running[q] == kNone) continue;  // stranded by a same-instant failure
+      const std::size_t rank = s.running[q];
+      sync_run(q, now);
+      Job& j = s.job[rank];
+      if (j.demoted || j.budget_left != 0 || j.remaining <= 0) continue;
+      j.demoted = true;
+      ++result.jobs_demoted;
+      if (config.record_trace) {
+        result.trace.push_back(TraceEvent{TraceEvent::Kind::kDemote, now, q,
+                                          tasks[rank].id,
+                                          static_cast<int>(j.pos), false});
       }
+      ready[q].demote(rank);
+      s.touched[q] = 1;
     }
 
     // Piece completions and budget-enforcement aborts.
-    for (std::size_t q = 0; q < m; ++q) {
-      if (!running[q]) continue;
-      const std::size_t rank = *running[q];
-      if (job[rank].remaining != 0) continue;
+    for (const std::size_t q : s.due_completion) {
+      if (s.running[q] == kNone) continue;  // stranded by a same-instant failure
+      const std::size_t rank = s.running[q];
+      sync_run(q, now);
+      if (s.job[rank].remaining != 0) continue;
       ready[q].erase(rank);
-      running[q].reset();
-      Job& j = job[rank];
+      s.running[q] = kNone;
+      s.heap.set(slot_budget + q, kTimeInfinity);
+      s.touched[q] = 1;
+      Job& j = s.job[rank];
       if (j.abort_at_budget) {
         // The piece hit its WCET budget with injected work left: kill the
         // job so the overrun cannot propagate interference.
@@ -338,7 +696,7 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
         continue;
       }
       ++j.pos;
-      if (j.pos == chains[rank].size()) {
+      if (j.pos == chain_len(rank)) {
         j.active = false;
         ++result.jobs_completed;
         result.max_response[rank] =
@@ -367,14 +725,13 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
     if (aborted) break;
 
     // Window activations falling due.
-    for (std::size_t rank = 0; rank < n; ++rank) {
-      if (activation[rank] != now) continue;
-      activation[rank] = kTimeInfinity;
-      const std::size_t q = chains[rank][job[rank].pos].processor;
-      if (dead[q]) {
+    for (const std::size_t rank : s.due_activation) {
+      const std::size_t q = piece_of(rank, s.job[rank].pos).processor;
+      if (s.dead[q]) {
         ++result.subtasks_orphaned;
       } else {
-        ready[q].insert(rank);
+        ready[q].insert(rank, s.job[rank].demoted, edf_key(rank));
+        s.touched[q] = 1;
       }
     }
 
@@ -382,9 +739,8 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
     // (nominal + T), which under jitter-free operation equals the next
     // release instant, so an active job at its task's release instant is
     // exactly a deadline miss.
-    for (std::size_t rank = 0; rank < n && !aborted; ++rank) {
-      if (next_release[rank] != now) continue;
-      Job& j = job[rank];
+    for (const std::size_t rank : s.due_release) {
+      Job& j = s.job[rank];
       if (j.active) {
         result.misses.push_back(DeadlineMiss{tasks[rank].id, j.release, j.deadline});
         if (config.record_trace) {
@@ -396,24 +752,29 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
           break;
         }
         // Continue mode: abandon the late job so the new one can run.
-        ready[chains[rank][j.pos].processor].erase(rank);
-        activation[rank] = kTimeInfinity;
-        for (std::size_t q = 0; q < m; ++q) {
-          if (running[q] == rank) running[q].reset();
+        const std::size_t q = piece_of(rank, j.pos).processor;
+        if (ready[q].erase(rank)) s.touched[q] = 1;
+        s.heap.set(rank, kTimeInfinity);  // cancel a pending activation
+        if (s.running[q] == rank) {
+          sync_run(q, now);
+          s.running[q] = kNone;
+          s.heap.set(slot_completion + q, kTimeInfinity);
+          s.heap.set(slot_budget + q, kTimeInfinity);
+          s.touched[q] = 1;
         }
       }
       j = Job{};
       j.active = true;
       j.release = now;
-      j.deadline = add_sat(next_nominal[rank], tasks[rank].period);
+      j.deadline = add_sat(s.next_nominal[rank], tasks[rank].period);
       if (overruns) {
         const bool hit = faults.overrun_probability >= 1.0 ||
-                         stream[rank].uniform() < faults.overrun_probability;
+                         s.stream[rank].uniform() < faults.overrun_probability;
         if (hit) {
           j.factor = faults.overrun_factor;
           j.extra = faults.overrun_ticks;
-          for (std::size_t pos = 0; pos < chains[rank].size(); ++pos) {
-            if (injected_exec(rank, pos) > chains[rank][pos].wcet) {
+          for (std::size_t pos = 0; pos < chain_len(rank); ++pos) {
+            if (injected_exec(rank, pos) > piece_of(rank, pos).wcet) {
               j.degraded = true;
               break;
             }
@@ -427,7 +788,7 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
       enter_piece(rank);
       enqueue(rank, now);
       ++result.jobs_released;
-      next_nominal[rank] = add_sat(next_nominal[rank], tasks[rank].period);
+      s.next_nominal[rank] = add_sat(s.next_nominal[rank], tasks[rank].period);
       schedule_release(rank);
       if (config.record_trace) {
         result.trace.push_back(TraceEvent{TraceEvent::Kind::kRelease, now, 0,
@@ -436,23 +797,43 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
     }
     if (aborted) break;
 
-    // Dispatch: best ready rank per processor under the active policy.
+    // Dispatch: re-pick every processor whose ready queue or running job
+    // changed.  Untouched processors cannot change their pick, so skipping
+    // them is trace-invisible.
     for (std::size_t q = 0; q < m; ++q) {
-      const std::optional<std::size_t> previous = running[q];
-      const std::optional<std::size_t> top = pick(ready[q]);
-      if (top && previous && *previous != *top && ready[q].count(*previous) != 0) {
+      if (!s.touched[q]) continue;
+      s.touched[q] = 0;
+      const std::size_t previous = s.running[q];
+      const std::size_t top = ready[q].pick();
+      if (top != kNone && previous != kNone && previous != top &&
+          ready[q].contains(previous)) {
         ++result.preemptions;  // displaced before completing its piece
       }
-      running[q] = top;
+      if (top != previous) {
+        if (previous != kNone) {
+          sync_run(q, now);
+          s.heap.set(slot_completion + q, kTimeInfinity);
+          s.heap.set(slot_budget + q, kTimeInfinity);
+        }
+        s.running[q] = top;
+        if (top != kNone) {
+          s.run_since[q] = now;
+          const Job& j = s.job[top];
+          s.heap.set(slot_completion + q, add_sat(now, j.remaining));
+          if (demotion && !j.demoted && j.budget_left < j.remaining) {
+            s.heap.set(slot_budget + q, add_sat(now, j.budget_left));
+          }
+        }
+      }
       if (config.record_trace) {
-        std::optional<std::pair<std::size_t, std::size_t>> current;
-        if (top) current = std::make_pair(*top, job[*top].pos);
-        if (current != traced[q]) {
-          traced[q] = current;
-          if (top) {
+        const SimState::Traced current =
+            top != kNone ? SimState::Traced{top, static_cast<int>(s.job[top].pos)}
+                         : SimState::Traced{kNone, 0};
+        if (current.rank != s.traced[q].rank || current.part != s.traced[q].part) {
+          s.traced[q] = current;
+          if (top != kNone) {
             result.trace.push_back(TraceEvent{TraceEvent::Kind::kRun, now, q,
-                                              tasks[*top].id,
-                                              static_cast<int>(job[*top].pos),
+                                              tasks[top].id, current.part,
                                               false});
           } else {
             result.trace.push_back(
@@ -463,10 +844,65 @@ SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
     }
   }
 
+  // Bring every still-running processor's busy time up to the stop
+  // instant (the reference advances all processors at every event).
+  for (std::size_t q = 0; q < m; ++q) {
+    if (s.running[q] != kNone) sync_run(q, now);
+  }
   result.simulated_until = now;
   result.schedulable = result.misses.empty();
-  return result;
 }
+
+}  // namespace
+
+}  // namespace detail
+
+const SimResult& simulate(const TaskSet& tasks, const Assignment& assignment,
+                          const SimConfig& config, SimWorkspace& workspace) {
+  if (config.horizon <= 0) throw InvalidConfigError("simulate: horizon must be positive");
+  if (!config.offsets.empty() && config.offsets.size() != tasks.size()) {
+    throw InvalidConfigError("simulate: offsets size mismatch");
+  }
+  detail::SimState& s = *workspace.state_;
+  detail::build_chains(s, tasks, assignment, config.policy);
+  detail::validate_faults(config.faults, assignment.processors.size());
+  if (config.policy == DispatchPolicy::kEarliestDeadlineFirst) {
+    detail::run_engine(s, s.edf_ready, tasks, assignment, config);
+  } else {
+    detail::run_engine(s, s.fp_ready, tasks, assignment, config);
+  }
+  return s.result;
+}
+
+SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
+                   const SimConfig& config) {
+  SimWorkspace workspace;
+  (void)simulate(tasks, assignment, config, workspace);
+  return std::move(workspace.state_->result);
+}
+
+std::vector<SimResult> simulate_batch(std::span<const SimJob> jobs,
+                                      std::size_t threads) {
+  for (const SimJob& item : jobs) {
+    if (item.tasks == nullptr || item.assignment == nullptr) {
+      throw InvalidConfigError("simulate_batch: null tasks or assignment");
+    }
+  }
+  std::vector<SimResult> results(jobs.size());
+  parallel_for(jobs.size(), threads, [&](std::size_t i) {
+    // One reusable workspace per pool thread; the pool is persistent, so
+    // the workspaces amortize across batches.
+    thread_local SimWorkspace workspace;
+    results[i] = simulate(*jobs[i].tasks, *jobs[i].assignment, jobs[i].config,
+                          workspace);
+  });
+  return results;
+}
+
+SimWorkspace::SimWorkspace() : state_(std::make_unique<detail::SimState>()) {}
+SimWorkspace::~SimWorkspace() = default;
+SimWorkspace::SimWorkspace(SimWorkspace&&) noexcept = default;
+SimWorkspace& SimWorkspace::operator=(SimWorkspace&&) noexcept = default;
 
 Time recommended_horizon(const TaskSet& tasks, Time cap) {
   const std::vector<Time> periods = tasks.periods();

@@ -31,10 +31,24 @@
 // failure, with overrun-containment policies (budget enforcement, priority
 // demotion) that respect split-chain semantics.  The default model is
 // inert and bit-identical to the nominal run.
+//
+// Implementation (the "indexed core"): instead of rescanning every task
+// and processor at each event point, the core keeps an indexed
+// (decrease-key) min-heap over all timed events -- releases, EDF window
+// activations, running-piece completions, containment-budget exhaustions
+// and the processor failure -- and per-processor ready queues that
+// dispatch in O(1): a find-first-set priority bitmap under fixed priority,
+// a small indexed heap keyed by absolute piece deadline under EDF.  All
+// per-run state lives in a SimWorkspace, so repeated simulation (the
+// robustness bisection, the fuzzer, parameter sweeps) is allocation-free
+// after the first run.  Results are bit-identical -- every counter, miss,
+// and trace event -- to the retained naive reference core
+// (sim/simulator_reference.hpp), which the differential tests assert.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/time.hpp"
@@ -72,6 +86,8 @@ struct DeadlineMiss {
   TaskId task{0};
   Time release{0};
   Time deadline{0};
+
+  friend bool operator==(const DeadlineMiss&, const DeadlineMiss&) = default;
 };
 
 /// Aggregate outcome of one simulation run.
@@ -79,6 +95,9 @@ struct SimResult {
   bool schedulable{false};  ///< no miss observed within the horizon
   std::vector<DeadlineMiss> misses;
   Time simulated_until{0};
+  /// Event points processed (iterations of the event loop); the unit the
+  /// throughput benches report as events/sec.
+  std::uint64_t events{0};
   std::uint64_t jobs_released{0};
   std::uint64_t jobs_completed{0};
   std::uint64_t preemptions{0};
@@ -103,6 +122,38 @@ struct SimResult {
   std::uint64_t subtasks_orphaned{0};
   /// Event stream, populated iff SimConfig::record_trace.
   std::vector<TraceEvent> trace;
+
+  /// Full bitwise comparison, trace included (the differential-test
+  /// contract between the indexed core and the reference core).
+  friend bool operator==(const SimResult&, const SimResult&) = default;
+};
+
+namespace detail {
+struct SimState;
+}  // namespace detail
+
+/// Reusable per-run simulator state: split chains, the job array, the
+/// event heap, ready queues, fault streams, and the result buffers
+/// (including the trace).  Construct once and pass to simulate() for every
+/// run of a repeated-simulation loop (robustness bisection, fuzzing,
+/// sweeps); after the first call on a given problem size subsequent runs
+/// perform no heap allocation.  A workspace is NOT thread-safe: use one
+/// per thread (simulate_batch does this automatically).
+class SimWorkspace {
+ public:
+  SimWorkspace();
+  ~SimWorkspace();
+  SimWorkspace(SimWorkspace&&) noexcept;
+  SimWorkspace& operator=(SimWorkspace&&) noexcept;
+  SimWorkspace(const SimWorkspace&) = delete;
+  SimWorkspace& operator=(const SimWorkspace&) = delete;
+
+ private:
+  friend const SimResult& simulate(const TaskSet&, const Assignment&,
+                                   const SimConfig&, SimWorkspace&);
+  friend SimResult simulate(const TaskSet&, const Assignment&,
+                            const SimConfig&);
+  std::unique_ptr<detail::SimState> state_;
 };
 
 /// Runs the assignment produced by a partitioner for `tasks`.  Requires
@@ -111,6 +162,33 @@ struct SimResult {
 /// the piece windows of each task must fit within its period (checked).
 [[nodiscard]] SimResult simulate(const TaskSet& tasks, const Assignment& assignment,
                                  const SimConfig& config);
+
+/// Workspace-reusing variant for hot loops: identical semantics and
+/// bit-identical results, but all per-run state (and the returned result,
+/// which lives inside `workspace`) is recycled across calls.  The returned
+/// reference is invalidated by the next simulate() call on the same
+/// workspace; copy it out to keep it.
+const SimResult& simulate(const TaskSet& tasks, const Assignment& assignment,
+                          const SimConfig& config, SimWorkspace& workspace);
+
+/// One item of a simulation batch.  `tasks` and `assignment` are borrowed
+/// and must outlive the simulate_batch() call; the config (with its
+/// per-item fault seed) is owned by the item.
+struct SimJob {
+  const TaskSet* tasks{nullptr};
+  const Assignment* assignment{nullptr};
+  SimConfig config;
+};
+
+/// Batched parallel simulation driver: runs every job across the
+/// persistent thread pool (common/parallel.hpp), one reusable SimWorkspace
+/// per pool thread.  Results land in job order, and because each item's
+/// fault streams derive only from its own config (never from shared RNG
+/// state), the output is bit-identical for ANY thread count -- the same
+/// determinism contract as the experiment sweeps.  `threads` = 0 uses the
+/// hardware concurrency.
+[[nodiscard]] std::vector<SimResult> simulate_batch(std::span<const SimJob> jobs,
+                                                    std::size_t threads = 0);
 
 /// Validation horizon: 2 * hyperperiod when that fits under `cap`
 /// (periodic schedules repeat, so this covers the steady state), else

@@ -1,0 +1,473 @@
+#include "sim/simulator_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/checked_math.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rmts {
+
+namespace {
+
+/// One piece of a task's split chain, in execution order.
+struct Piece {
+  std::size_t processor;
+  Time wcet;
+  /// EDF mode: activation offset from the job release (window start) and
+  /// the piece's relative deadline end.  Unused under fixed priority.
+  Time window_start;
+  Time window_end;
+};
+
+/// Execution chains per RM rank, validated against the task set.
+std::vector<std::vector<Piece>> build_chains(const TaskSet& tasks,
+                                             const Assignment& assignment,
+                                             DispatchPolicy policy) {
+  // part -> (processor, subtask), per rank; std::map keeps chain order.
+  struct Raw {
+    std::size_t processor;
+    Time wcet;
+    Time deadline;
+  };
+  std::vector<std::map<int, Raw>> parts(tasks.size());
+  std::vector<std::size_t> rank_of_id;
+  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+    const TaskId id = tasks[rank].id;
+    if (id >= rank_of_id.size()) rank_of_id.resize(id + 1, tasks.size());
+    rank_of_id[id] = rank;
+  }
+
+  for (std::size_t q = 0; q < assignment.processors.size(); ++q) {
+    for (const Subtask& s : assignment.processors[q].subtasks) {
+      if (s.task_id >= rank_of_id.size() || rank_of_id[s.task_id] == tasks.size()) {
+        throw InvalidConfigError("simulate: subtask of unknown task");
+      }
+      if (s.wcet <= 0) throw InvalidConfigError("simulate: non-positive piece wcet");
+      const std::size_t rank = rank_of_id[s.task_id];
+      if (!parts[rank].emplace(s.part, Raw{q, s.wcet, s.deadline}).second) {
+        throw InvalidConfigError("simulate: duplicate chain part");
+      }
+    }
+  }
+
+  std::vector<std::vector<Piece>> chains(tasks.size());
+  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+    Time total = 0;
+    Time window = 0;
+    int expected_part = 0;
+    for (const auto& [part, raw] : parts[rank]) {
+      if (part != expected_part++) {
+        throw InvalidConfigError("simulate: chain with missing part");
+      }
+      total += raw.wcet;
+      chains[rank].push_back(
+          Piece{raw.processor, raw.wcet, window, window + raw.deadline});
+      window += raw.deadline;
+    }
+    if (total != tasks[rank].wcet) {
+      throw InvalidConfigError("simulate: chain does not cover task wcet");
+    }
+    if (policy == DispatchPolicy::kEarliestDeadlineFirst &&
+        window > tasks[rank].period) {
+      throw InvalidConfigError("simulate: EDF windows exceed the period");
+    }
+  }
+  return chains;
+}
+
+void validate_faults(const FaultModel& faults, std::size_t processors) {
+  if (!(faults.overrun_factor > 0.0) || !std::isfinite(faults.overrun_factor)) {
+    throw InvalidConfigError("simulate: overrun_factor must be positive and finite");
+  }
+  if (faults.overrun_ticks < 0) {
+    throw InvalidConfigError("simulate: overrun_ticks must be non-negative");
+  }
+  if (faults.overrun_probability < 0.0 || faults.overrun_probability > 1.0) {
+    throw InvalidConfigError("simulate: overrun_probability must be in [0, 1]");
+  }
+  if (faults.release_jitter < 0) {
+    throw InvalidConfigError("simulate: release_jitter must be non-negative");
+  }
+  if (faults.failed_processor != kNoProcessor) {
+    if (faults.failed_processor >= processors) {
+      throw InvalidConfigError("simulate: failed_processor out of range");
+    }
+    if (faults.failure_time < 0) {
+      throw InvalidConfigError("simulate: failure_time must be non-negative");
+    }
+  }
+}
+
+/// Saturating addition of non-negative Times (fault-scaled execution times
+/// can reach overflow scale; event times must stay comparable, not UB).
+Time add_sat(Time a, Time b) noexcept {
+  const auto sum = checked_add(a, b);
+  return sum ? *sum : kTimeInfinity;
+}
+
+struct Job {
+  bool active{false};
+  Time release{0};
+  Time deadline{0};
+  std::size_t pos{0};  // current chain piece
+  Time remaining{0};   // remaining injected execution of the current piece
+  // Fault state.
+  double factor{1.0};       // injected multiplicative overrun for this job
+  Time extra{0};            // injected additive ticks on the final piece
+  Time budget_left{0};      // nominal wcet of the current piece not yet consumed
+  bool abort_at_budget{false};  // current piece is capped (budget enforcement)
+  bool demoted{false};      // running at background priority
+  bool degraded{false};     // injected execution exceeds the nominal WCET
+};
+
+}  // namespace
+
+SimResult simulate_reference(const TaskSet& tasks,
+                             const Assignment& assignment,
+                             const SimConfig& config) {
+  if (config.horizon <= 0) throw InvalidConfigError("simulate: horizon must be positive");
+  if (!config.offsets.empty() && config.offsets.size() != tasks.size()) {
+    throw InvalidConfigError("simulate: offsets size mismatch");
+  }
+  const bool edf = config.policy == DispatchPolicy::kEarliestDeadlineFirst;
+  const std::size_t n = tasks.size();
+  const std::size_t m = assignment.processors.size();
+  const auto chains = build_chains(tasks, assignment, config.policy);
+  const FaultModel& faults = config.faults;
+  validate_faults(faults, m);
+  const bool overruns = faults.injects_overruns();
+  const bool budget_enforced =
+      faults.containment == ContainmentPolicy::kBudgetEnforcement;
+  const bool demotion =
+      faults.containment == ContainmentPolicy::kPriorityDemotion;
+
+  SimResult result;
+  result.busy_time.assign(m, 0);
+  result.max_response.assign(n, 0);
+  result.degraded_per_task.assign(n, 0);
+
+  // Per-task fault streams: draws happen in rank order at each release
+  // event, so the pattern is a pure function of (seed, task, job index).
+  std::vector<Rng> stream;
+  if (overruns || faults.release_jitter > 0) {
+    const Rng base(faults.seed);
+    stream.reserve(n);
+    for (std::size_t rank = 0; rank < n; ++rank) stream.push_back(base.fork(rank));
+  }
+
+  std::vector<Job> job(n);
+  // Nominal (periodic-grid) release instants anchor deadlines; the actual
+  // release may lag by the drawn jitter.
+  std::vector<Time> next_nominal(n, 0);
+  std::vector<Time> next_release(n, 0);
+  const auto schedule_release = [&](std::size_t rank) {
+    Time actual = next_nominal[rank];
+    if (faults.release_jitter > 0) {
+      actual = add_sat(actual, stream[rank].uniform_int(0, faults.release_jitter));
+    }
+    next_release[rank] = actual;
+  };
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    next_nominal[rank] = config.offsets.empty() ? 0 : config.offsets[rank];
+    schedule_release(rank);
+  }
+
+  // Ready ranks per processor (rank-ordered for deterministic ties);
+  // dispatch key depends on the policy.
+  std::vector<std::set<std::size_t>> ready(m);
+  std::vector<std::optional<std::size_t>> running(m);
+  std::vector<char> dead(m, 0);
+  bool failure_pending = faults.failed_processor != kNoProcessor;
+  // Last (rank, part) each processor was traced as executing; nullopt =
+  // idle.  Tracked separately from `running` because completions reset
+  // `running` before the dispatch step runs.
+  std::vector<std::optional<std::pair<std::size_t, std::size_t>>> traced(m);
+  // EDF window activations that are still in the future: rank -> time.
+  std::vector<Time> activation(n, kTimeInfinity);
+
+  // Piece absolute-deadline key for EDF dispatch.
+  const auto edf_key = [&](std::size_t rank) {
+    return job[rank].release + chains[rank][job[rank].pos].window_end;
+  };
+  // Best ready rank under the active policy; demoted jobs only run when no
+  // nominal-priority work is ready (background priority).
+  const auto pick = [&](const std::set<std::size_t>& candidates)
+      -> std::optional<std::size_t> {
+    if (candidates.empty()) return std::nullopt;
+    std::optional<std::size_t> best;
+    std::optional<std::size_t> best_demoted;
+    for (const std::size_t rank : candidates) {
+      auto& slot = job[rank].demoted ? best_demoted : best;
+      if (!slot) {
+        slot = rank;
+      } else if (edf && edf_key(rank) < edf_key(*slot)) {
+        slot = rank;  // FP keeps the first (lowest) rank: sets are ordered
+      }
+      if (!edf && best) break;  // lowest non-demoted rank found
+    }
+    return best ? best : best_demoted;
+  };
+  /// Injected execution time of chain piece `pos` for the job of `rank`.
+  const auto injected_exec = [&](std::size_t rank, std::size_t pos) {
+    const Job& j = job[rank];
+    Time exec = chains[rank][pos].wcet;
+    if (j.factor != 1.0) {
+      const double scaled = j.factor * static_cast<double>(exec);
+      exec = scaled >= static_cast<double>(kTimeInfinity)
+                 ? kTimeInfinity
+                 : std::max<Time>(1, static_cast<Time>(std::llround(scaled)));
+    }
+    if (pos + 1 == chains[rank].size()) exec = add_sat(exec, j.extra);
+    return exec;
+  };
+  /// Loads piece `job[rank].pos` into the job's execution state.
+  const auto enter_piece = [&](std::size_t rank) {
+    Job& j = job[rank];
+    const Time nominal = chains[rank][j.pos].wcet;
+    const Time exec = injected_exec(rank, j.pos);
+    j.budget_left = nominal;
+    j.abort_at_budget = budget_enforced && exec > nominal;
+    j.remaining = j.abort_at_budget ? nominal : exec;
+  };
+  // Queue a piece: immediately ready, or parked until its window opens.
+  // Pieces bound for a failed processor are orphaned and never queued.
+  const auto enqueue = [&](std::size_t rank, Time now) {
+    const Piece& piece = chains[rank][job[rank].pos];
+    if (dead[piece.processor]) {
+      ++result.subtasks_orphaned;
+      return;
+    }
+    const Time start =
+        edf ? std::max(now, job[rank].release + piece.window_start) : now;
+    if (start <= now) {
+      ready[piece.processor].insert(rank);
+    } else {
+      activation[rank] = start;
+    }
+  };
+
+  Time now = 0;
+  bool aborted = false;
+  while (!aborted) {
+    // Next event: release, running-piece completion or budget exhaustion,
+    // window activation, or processor failure.
+    Time t_next = kTimeInfinity;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      t_next = std::min({t_next, next_release[rank], activation[rank]});
+    }
+    for (std::size_t q = 0; q < m; ++q) {
+      if (!running[q]) continue;
+      const Job& j = job[*running[q]];
+      t_next = std::min(t_next, add_sat(now, j.remaining));
+      if (demotion && !j.demoted && j.budget_left < j.remaining) {
+        t_next = std::min(t_next, add_sat(now, j.budget_left));
+      }
+    }
+    if (failure_pending) t_next = std::min(t_next, faults.failure_time);
+    ++result.events;
+
+    // Events at exactly the horizon are still processed so deadlines on
+    // the boundary are checked; only later events are cut off.
+    const bool past_end = t_next > config.horizon;
+    const Time target = past_end ? config.horizon : t_next;
+
+    // Advance every processor to the target instant.
+    const Time elapsed = target - now;
+    for (std::size_t q = 0; q < m; ++q) {
+      if (!running[q]) continue;
+      Job& j = job[*running[q]];
+      j.remaining -= elapsed;
+      j.budget_left = std::max<Time>(0, j.budget_left - elapsed);
+      result.busy_time[q] += elapsed;
+    }
+    now = target;
+    if (past_end) break;
+
+    // Processor failure: strand whatever is queued there.  Affected jobs
+    // stay active but can never progress, so they surface as deadline
+    // misses at their next release.
+    if (failure_pending && faults.failure_time == now) {
+      failure_pending = false;
+      const std::size_t q = faults.failed_processor;
+      dead[q] = 1;
+      result.subtasks_orphaned += ready[q].size();
+      ready[q].clear();
+      running[q].reset();
+    }
+
+    // Priority demotions: a running piece that exhausted its nominal WCET
+    // budget while work remains drops to background priority.
+    if (demotion) {
+      for (std::size_t q = 0; q < m; ++q) {
+        if (!running[q]) continue;
+        const std::size_t rank = *running[q];
+        Job& j = job[rank];
+        if (!j.demoted && j.budget_left == 0 && j.remaining > 0) {
+          j.demoted = true;
+          ++result.jobs_demoted;
+          if (config.record_trace) {
+            result.trace.push_back(TraceEvent{TraceEvent::Kind::kDemote, now, q,
+                                              tasks[rank].id,
+                                              static_cast<int>(j.pos), false});
+          }
+        }
+      }
+    }
+
+    // Piece completions and budget-enforcement aborts.
+    for (std::size_t q = 0; q < m; ++q) {
+      if (!running[q]) continue;
+      const std::size_t rank = *running[q];
+      if (job[rank].remaining != 0) continue;
+      ready[q].erase(rank);
+      running[q].reset();
+      Job& j = job[rank];
+      if (j.abort_at_budget) {
+        // The piece hit its WCET budget with injected work left: kill the
+        // job so the overrun cannot propagate interference.
+        j.active = false;
+        ++result.jobs_aborted;
+        if (config.record_trace) {
+          result.trace.push_back(TraceEvent{TraceEvent::Kind::kAbort, now, q,
+                                            tasks[rank].id,
+                                            static_cast<int>(j.pos), false});
+        }
+        continue;
+      }
+      ++j.pos;
+      if (j.pos == chains[rank].size()) {
+        j.active = false;
+        ++result.jobs_completed;
+        result.max_response[rank] =
+            std::max(result.max_response[rank], now - j.release);
+        if (config.record_trace) {
+          result.trace.push_back(TraceEvent{TraceEvent::Kind::kComplete, now, 0,
+                                            tasks[rank].id, 0, false});
+        }
+        if (now > j.deadline) {
+          result.misses.push_back(DeadlineMiss{tasks[rank].id, j.release, j.deadline});
+          if (config.record_trace) {
+            result.trace.push_back(TraceEvent{TraceEvent::Kind::kMiss, now, 0,
+                                              tasks[rank].id, 0, false});
+          }
+          if (config.stop_at_first_miss) {
+            aborted = true;
+            break;
+          }
+        }
+      } else {
+        enter_piece(rank);
+        enqueue(rank, now);
+        ++result.migrations;
+      }
+    }
+    if (aborted) break;
+
+    // Window activations falling due.
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      if (activation[rank] != now) continue;
+      activation[rank] = kTimeInfinity;
+      const std::size_t q = chains[rank][job[rank].pos].processor;
+      if (dead[q]) {
+        ++result.subtasks_orphaned;
+      } else {
+        ready[q].insert(rank);
+      }
+    }
+
+    // Releases.  The absolute deadline is anchored at the NOMINAL release
+    // (nominal + T), which under jitter-free operation equals the next
+    // release instant, so an active job at its task's release instant is
+    // exactly a deadline miss.
+    for (std::size_t rank = 0; rank < n && !aborted; ++rank) {
+      if (next_release[rank] != now) continue;
+      Job& j = job[rank];
+      if (j.active) {
+        result.misses.push_back(DeadlineMiss{tasks[rank].id, j.release, j.deadline});
+        if (config.record_trace) {
+          result.trace.push_back(TraceEvent{TraceEvent::Kind::kMiss, now, 0,
+                                            tasks[rank].id, 0, false});
+        }
+        if (config.stop_at_first_miss) {
+          aborted = true;
+          break;
+        }
+        // Continue mode: abandon the late job so the new one can run.
+        ready[chains[rank][j.pos].processor].erase(rank);
+        activation[rank] = kTimeInfinity;
+        for (std::size_t q = 0; q < m; ++q) {
+          if (running[q] == rank) running[q].reset();
+        }
+      }
+      j = Job{};
+      j.active = true;
+      j.release = now;
+      j.deadline = add_sat(next_nominal[rank], tasks[rank].period);
+      if (overruns) {
+        const bool hit = faults.overrun_probability >= 1.0 ||
+                         stream[rank].uniform() < faults.overrun_probability;
+        if (hit) {
+          j.factor = faults.overrun_factor;
+          j.extra = faults.overrun_ticks;
+          for (std::size_t pos = 0; pos < chains[rank].size(); ++pos) {
+            if (injected_exec(rank, pos) > chains[rank][pos].wcet) {
+              j.degraded = true;
+              break;
+            }
+          }
+        }
+      }
+      if (j.degraded) {
+        ++result.jobs_degraded;
+        ++result.degraded_per_task[rank];
+      }
+      enter_piece(rank);
+      enqueue(rank, now);
+      ++result.jobs_released;
+      next_nominal[rank] = add_sat(next_nominal[rank], tasks[rank].period);
+      schedule_release(rank);
+      if (config.record_trace) {
+        result.trace.push_back(TraceEvent{TraceEvent::Kind::kRelease, now, 0,
+                                          tasks[rank].id, 0, false});
+      }
+    }
+    if (aborted) break;
+
+    // Dispatch: best ready rank per processor under the active policy.
+    for (std::size_t q = 0; q < m; ++q) {
+      const std::optional<std::size_t> previous = running[q];
+      const std::optional<std::size_t> top = pick(ready[q]);
+      if (top && previous && *previous != *top && ready[q].count(*previous) != 0) {
+        ++result.preemptions;  // displaced before completing its piece
+      }
+      running[q] = top;
+      if (config.record_trace) {
+        std::optional<std::pair<std::size_t, std::size_t>> current;
+        if (top) current = std::make_pair(*top, job[*top].pos);
+        if (current != traced[q]) {
+          traced[q] = current;
+          if (top) {
+            result.trace.push_back(TraceEvent{TraceEvent::Kind::kRun, now, q,
+                                              tasks[*top].id,
+                                              static_cast<int>(job[*top].pos),
+                                              false});
+          } else {
+            result.trace.push_back(
+                TraceEvent{TraceEvent::Kind::kRun, now, q, 0, 0, true});
+          }
+        }
+      }
+    }
+  }
+
+  result.simulated_until = now;
+  result.schedulable = result.misses.empty();
+  return result;
+}
+
+}  // namespace rmts

@@ -1,0 +1,29 @@
+// Naive reference simulator core, retained as the differential-testing
+// oracle for the indexed core in sim/simulator.hpp.
+//
+// This is the original straight-line implementation: at every event point
+// it rescans all n tasks and m processors for the next event, keeps the
+// per-processor ready queues in std::set, and allocates all per-run state
+// on entry.  It is deliberately simple -- every semantic rule appears
+// exactly once, in the order the documentation states it -- which makes it
+// slow (O(n + m) per event) but easy to audit.
+//
+// Contract: for every (tasks, assignment, config), simulate_reference()
+// and simulate() return bit-identical SimResults -- every counter, every
+// miss, the full trace.  tests/sim_differential_test.cpp and rmts_fuzz
+// assert this across policies and fault configurations; bench_e17 measures
+// the speedup of the indexed core against this baseline.  Any semantic
+// change must be made to BOTH cores.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace rmts {
+
+/// Reference implementation of simulate(): identical semantics and
+/// validation, O(n + m) per event, fresh allocations per call.
+[[nodiscard]] SimResult simulate_reference(const TaskSet& tasks,
+                                           const Assignment& assignment,
+                                           const SimConfig& config);
+
+}  // namespace rmts

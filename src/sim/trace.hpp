@@ -27,6 +27,8 @@ struct TraceEvent {
   TaskId task{0};
   int part{0};               ///< kRun: chain part being executed
   bool idle{false};          ///< kRun: processor went idle
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
 /// Renders the kRun events of `trace` as an ASCII Gantt chart over

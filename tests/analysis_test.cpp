@@ -7,7 +7,7 @@
 
 #include "analysis/acceptance.hpp"
 #include "analysis/breakdown.hpp"
-#include "analysis/parallel.hpp"
+#include "common/parallel.hpp"
 #include "common/error.hpp"
 
 namespace rmts {

@@ -1,0 +1,297 @@
+// Differential test for the indexed simulator core: simulate() must return
+// bit-identical SimResults -- every counter, every miss, the full trace --
+// to the retained naive reference core (sim/simulator_reference.hpp) on
+// the same input, across dispatch policies, fault models and containment
+// policies, and regardless of whether a SimWorkspace is reused.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "partition/edf_split.hpp"
+#include "partition/rmts_light.hpp"
+#include "sim/simulator.hpp"
+#include "sim/simulator_reference.hpp"
+#include "workload/generators.hpp"
+
+namespace rmts {
+namespace {
+
+Assignment uniprocessor(const TaskSet& tasks) {
+  Assignment a;
+  a.success = true;
+  a.processors.resize(1);
+  for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
+    a.processors[0].subtasks.push_back(whole_subtask(tasks[rank], rank));
+  }
+  return a;
+}
+
+/// Runs both cores (the indexed one twice: fresh-workspace overload and the
+/// shared `workspace`) and requires full bitwise equality.
+void expect_identical(const TaskSet& tasks, const Assignment& assignment,
+                      const SimConfig& config, SimWorkspace& workspace,
+                      const std::string& what) {
+  const SimResult reference = simulate_reference(tasks, assignment, config);
+  const SimResult fresh = simulate(tasks, assignment, config);
+  const SimResult& reused = simulate(tasks, assignment, config, workspace);
+  EXPECT_TRUE(reference == fresh)
+      << what << ": indexed core (fresh workspace) diverged from reference"
+      << " (events " << reference.events << " vs " << fresh.events
+      << ", trace " << reference.trace.size() << " vs " << fresh.trace.size()
+      << ", misses " << reference.misses.size() << " vs "
+      << fresh.misses.size() << ", preemptions " << reference.preemptions
+      << " vs " << fresh.preemptions << ")";
+  EXPECT_TRUE(reference == reused)
+      << what << ": indexed core (reused workspace) diverged from reference";
+}
+
+/// The fault/containment matrix exercised for every (tasks, assignment,
+/// policy) triple.  All configs record the trace so the comparison covers
+/// the full event stream, not just the counters.
+std::vector<std::pair<std::string, SimConfig>> fault_matrix(
+    const TaskSet& tasks, std::size_t processors, const SimConfig& base,
+    Rng& sample) {
+  std::vector<std::pair<std::string, SimConfig>> matrix;
+  const auto add = [&](std::string name, const SimConfig& config) {
+    matrix.emplace_back(std::move(name), config);
+    matrix.back().second.record_trace = true;
+  };
+  add("nominal", base);
+
+  SimConfig overrun = base;
+  overrun.stop_at_first_miss = false;
+  overrun.faults.seed = static_cast<std::uint64_t>(sample.uniform_int(1, 1 << 30));
+  overrun.faults.overrun_factor = sample.uniform(1.0, 3.0);
+  overrun.faults.overrun_ticks = sample.uniform_int(0, 3);
+  overrun.faults.overrun_probability = sample.uniform(0.2, 1.0);
+  add("overrun-uncontained", overrun);
+
+  SimConfig enforced = overrun;
+  enforced.faults.containment = ContainmentPolicy::kBudgetEnforcement;
+  add("overrun-budget-enforcement", enforced);
+
+  SimConfig demoted = overrun;
+  demoted.faults.containment = ContainmentPolicy::kPriorityDemotion;
+  add("overrun-priority-demotion", demoted);
+
+  // Jitter stays below every period: delays of a period or more would
+  // reorder releases, which the run-time model does not admit.
+  Time min_period = tasks.empty() ? 1 : tasks[0].period;
+  for (std::size_t rank = 1; rank < tasks.size(); ++rank) {
+    min_period = std::min(min_period, tasks[rank].period);
+  }
+  SimConfig jittery = base;
+  jittery.stop_at_first_miss = false;
+  jittery.faults.seed = static_cast<std::uint64_t>(sample.uniform_int(1, 1 << 30));
+  jittery.faults.release_jitter = sample.uniform_int(1, std::max<Time>(1, min_period / 2));
+  add("jitter", jittery);
+
+  SimConfig failing = base;
+  failing.stop_at_first_miss = false;
+  failing.faults.failed_processor = static_cast<std::size_t>(
+      sample.uniform_int(0, static_cast<Time>(processors) - 1));
+  failing.faults.failure_time = sample.uniform_int(0, base.horizon);
+  add("fail-stop", failing);
+
+  SimConfig combined = demoted;
+  combined.faults.release_jitter = jittery.faults.release_jitter;
+  combined.faults.failed_processor = failing.faults.failed_processor;
+  combined.faults.failure_time = failing.faults.failure_time;
+  add("overrun+jitter+failure, demotion", combined);
+
+  SimConfig combined_stop = combined;
+  combined_stop.faults.containment = ContainmentPolicy::kBudgetEnforcement;
+  combined_stop.stop_at_first_miss = true;
+  add("overrun+jitter+failure, enforcement, stop-at-first-miss", combined_stop);
+  return matrix;
+}
+
+void run_matrix(const TaskSet& tasks, const Assignment& assignment,
+                DispatchPolicy policy, SimWorkspace& workspace, Rng& sample,
+                const std::string& what) {
+  SimConfig base;
+  base.horizon = recommended_horizon(tasks, 200'000);
+  base.policy = policy;
+  for (const auto& [name, config] :
+       fault_matrix(tasks, assignment.processors.size(), base, sample)) {
+    expect_identical(tasks, assignment, config, workspace, what + " / " + name);
+  }
+}
+
+// Randomized task sets x {FP, EDF} x the fault matrix, with ONE workspace
+// shared across every run -- sizes, policies and fault models all change
+// under it, so stale-state bugs in the reuse path cannot hide.
+TEST(SimDifferential, RandomizedTaskSetsAcrossPoliciesAndFaults) {
+  SimWorkspace workspace;
+  const RmtsLight fp_partitioner;
+  const EdfSplit edf_partitioner;
+  const Rng root(20260806);
+  std::size_t covered = 0;
+  for (std::uint64_t attempt = 0; covered < 24 && attempt < 200; ++attempt) {
+    Rng sample = root.fork(attempt);
+    WorkloadConfig config;
+    config.processors = static_cast<std::size_t>(sample.uniform_int(1, 4));
+    config.tasks =
+        config.processors * static_cast<std::size_t>(sample.uniform_int(2, 5));
+    config.period_model = PeriodModel::kGrid;
+    config.period_grid = small_hyperperiod_grid();
+    config.max_task_utilization = sample.uniform(0.3, 0.95);
+    config.normalized_utilization = sample.uniform(0.3, 0.9);
+    if (config.normalized_utilization >
+        0.95 * config.max_task_utilization * static_cast<double>(config.tasks) /
+            static_cast<double>(config.processors)) {
+      continue;  // infeasible UUniFast target; redraw
+    }
+    const TaskSet tasks = generate(sample, config);
+    const std::string stem = "attempt " + std::to_string(attempt);
+
+    const Assignment fp = fp_partitioner.partition(tasks, config.processors);
+    if (fp.success) {
+      run_matrix(tasks, fp, DispatchPolicy::kFixedPriority, workspace, sample,
+                 stem + " FP");
+      ++covered;
+    }
+    const Assignment edf = edf_partitioner.partition(tasks, config.processors);
+    if (edf.success) {
+      run_matrix(tasks, edf, DispatchPolicy::kEarliestDeadlineFirst, workspace,
+                 sample, stem + " EDF");
+    }
+  }
+  EXPECT_GE(covered, 24u) << "randomized sweep generated too few partitions";
+}
+
+// High utilization forces RmtsLight to split tasks across processors, so
+// the cross-processor chain machinery (migrations, window activations,
+// orphaned pieces after a failure) is differentially covered.
+TEST(SimDifferential, SplitChainsUnderHighUtilization) {
+  SimWorkspace workspace;
+  const RmtsLight partitioner;
+  const Rng root(7);
+  std::size_t with_splits = 0;
+  for (std::uint64_t attempt = 0; with_splits < 4 && attempt < 100; ++attempt) {
+    Rng sample = root.fork(attempt);
+    WorkloadConfig config;
+    config.processors = 3;
+    config.tasks = 9;
+    config.period_model = PeriodModel::kGrid;
+    config.period_grid = small_hyperperiod_grid();
+    config.max_task_utilization = 0.9;
+    config.normalized_utilization = sample.uniform(0.8, 0.92);
+    const TaskSet tasks = generate(sample, config);
+    const Assignment a = partitioner.partition(tasks, config.processors);
+    if (!a.success || a.split_task_count() == 0) continue;
+    ++with_splits;
+    run_matrix(tasks, a, DispatchPolicy::kFixedPriority, workspace, sample,
+               "split attempt " + std::to_string(attempt));
+  }
+  EXPECT_GE(with_splits, 4u) << "no split assignments generated";
+}
+
+// Overloaded uniprocessor: both the stop-at-first-miss early exit and the
+// keep-counting abandon path (active job at its next release) diverge
+// fastest if the cores disagree, so pin them directly.
+TEST(SimDifferential, OverloadMissPathsMatch) {
+  const TaskSet tasks = TaskSet::from_pairs({{60, 100}, {50, 120}});
+  const Assignment a = uniprocessor(tasks);
+  SimWorkspace workspace;
+  for (const DispatchPolicy policy : {DispatchPolicy::kFixedPriority,
+                                      DispatchPolicy::kEarliestDeadlineFirst}) {
+    for (const bool stop : {true, false}) {
+      SimConfig config;
+      config.horizon = 50'000;
+      config.policy = policy;
+      config.stop_at_first_miss = stop;
+      config.record_trace = true;
+      expect_identical(tasks, a, config, workspace,
+                       std::string("overload policy=") +
+                           (policy == DispatchPolicy::kFixedPriority ? "FP" : "EDF") +
+                           " stop=" + (stop ? "1" : "0"));
+    }
+  }
+}
+
+// Deadline exactly on the horizon boundary and an event landing exactly on
+// the failure instant: the reference processes horizon-boundary events and
+// failure-before-completion ordering in a specific way; the indexed core
+// must match tick for tick.
+TEST(SimDifferential, BoundaryInstantsMatch) {
+  const TaskSet tasks = TaskSet::from_pairs({{25, 50}, {30, 100}});
+  const Assignment a = uniprocessor(tasks);
+  SimWorkspace workspace;
+  for (const Time horizon : {Time{50}, Time{100}, Time{125}}) {
+    SimConfig config;
+    config.horizon = horizon;
+    config.record_trace = true;
+    expect_identical(tasks, a, config, workspace,
+                     "horizon=" + std::to_string(horizon));
+  }
+  // Failure at t=0 and at a completion instant.
+  for (const Time failure_time : {Time{0}, Time{25}, Time{55}}) {
+    SimConfig config;
+    config.horizon = 500;
+    config.stop_at_first_miss = false;
+    config.record_trace = true;
+    config.faults.failed_processor = 0;
+    config.faults.failure_time = failure_time;
+    expect_identical(tasks, a, config, workspace,
+                     "failure@" + std::to_string(failure_time));
+  }
+}
+
+// simulate_batch must agree item-for-item with the serial cores for any
+// thread count (determinism-under-parallelism contract).
+TEST(SimDifferential, BatchMatchesSerialForAnyThreadCount) {
+  const Rng root(99);
+  std::vector<TaskSet> sets;
+  std::vector<Assignment> assignments;
+  std::vector<SimJob> jobs;
+  const RmtsLight partitioner;
+  for (std::uint64_t attempt = 0; sets.size() < 6 && attempt < 60; ++attempt) {
+    Rng sample = root.fork(attempt);
+    WorkloadConfig config;
+    config.processors = 2;
+    config.tasks = 6;
+    config.period_model = PeriodModel::kGrid;
+    config.period_grid = small_hyperperiod_grid();
+    config.max_task_utilization = 0.8;
+    config.normalized_utilization = 0.6;
+    TaskSet tasks = generate(sample, config);
+    Assignment a = partitioner.partition(tasks, config.processors);
+    if (!a.success) continue;
+    sets.push_back(std::move(tasks));
+    assignments.push_back(std::move(a));
+  }
+  ASSERT_GE(sets.size(), 6u);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    SimConfig config;
+    config.horizon = recommended_horizon(sets[i], 200'000);
+    config.record_trace = true;
+    config.faults.seed = 17 + i;
+    config.faults.overrun_factor = 1.5;
+    config.faults.overrun_probability = 0.5;
+    config.faults.containment = ContainmentPolicy::kPriorityDemotion;
+    config.stop_at_first_miss = false;
+    jobs.push_back(SimJob{&sets[i], &assignments[i], config});
+  }
+  std::vector<SimResult> serial;
+  serial.reserve(jobs.size());
+  for (const SimJob& job : jobs) {
+    serial.push_back(simulate_reference(*job.tasks, *job.assignment, job.config));
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const std::vector<SimResult> batched = simulate_batch(jobs, threads);
+    ASSERT_EQ(batched.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(batched[i] == serial[i])
+          << "batch item " << i << " with " << threads
+          << " threads diverged from the reference core";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmts

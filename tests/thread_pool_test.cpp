@@ -12,8 +12,8 @@
 
 #include "analysis/acceptance.hpp"
 #include "analysis/breakdown.hpp"
-#include "analysis/parallel.hpp"
-#include "analysis/thread_pool.hpp"
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
 #include "common/error.hpp"
 
 namespace rmts {

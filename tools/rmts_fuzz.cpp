@@ -3,6 +3,8 @@
 // checks each accepted assignment against the discrete-event simulator
 // plus the structural invariants -- including the fault-injection layer:
 //
+//  * every simulated run is cross-checked bit-for-bit (counters, misses,
+//    trace) against the naive reference core (sim/simulator_reference.hpp);
 //  * identity faults (factor 1.0, no jitter) must reproduce the nominal
 //    run counter-for-counter;
 //  * random overruns under budget enforcement must never cause a miss
@@ -42,6 +44,7 @@
 #include "partition/rmts_light.hpp"
 #include "partition/spa.hpp"
 #include "sim/simulator.hpp"
+#include "sim/simulator_reference.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -90,7 +93,7 @@ struct Reporter {
 
 bool counters_equal(const SimResult& a, const SimResult& b) {
   return a.schedulable == b.schedulable && a.misses.size() == b.misses.size() &&
-         a.simulated_until == b.simulated_until &&
+         a.simulated_until == b.simulated_until && a.events == b.events &&
          a.jobs_released == b.jobs_released &&
          a.jobs_completed == b.jobs_completed &&
          a.preemptions == b.preemptions && a.migrations == b.migrations &&
@@ -127,6 +130,7 @@ int main(int argc, char** argv) {
   };
 
   Rng rng(seed);
+  SimWorkspace workspace;  // reused across every simulated run
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t attempts = 0;  // fork key: advances even on infeasible draws
   std::uint64_t sets = 0;
@@ -167,7 +171,18 @@ int main(int argc, char** argv) {
       SimConfig sim;
       sim.horizon = recommended_horizon(tasks, 2'000'000);
       sim.policy = entry.policy;
-      const SimResult nominal = simulate(tasks, assignment, sim);
+      // Invariant 0: the indexed core agrees with the naive reference core
+      // bit-for-bit on every run the fuzzer performs.
+      const auto simulate_checked = [&](const SimConfig& sim_config) {
+        SimResult result = simulate(tasks, assignment, sim_config, workspace);
+        if (!(result == simulate_reference(tasks, assignment, sim_config))) {
+          reporter.violation(
+              entry.algorithm->name() + ": indexed core diverged from reference",
+              tasks, assignment, sim_config.faults);
+        }
+        return result;
+      };
+      const SimResult nominal = simulate_checked(sim);
       if (!nominal.schedulable) {
         reporter.violation(entry.algorithm->name() +
                                " accepted but missed a deadline",
@@ -182,7 +197,7 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(sample.uniform_int(1, 1 << 30));
       identity.faults.overrun_probability = sample.uniform(0.0, 1.0);
       identity.faults.containment = ContainmentPolicy::kBudgetEnforcement;
-      if (!counters_equal(nominal, simulate(tasks, assignment, identity))) {
+      if (!counters_equal(nominal, simulate_checked(identity))) {
         reporter.violation(entry.algorithm->name() +
                                ": identity fault model changed the run",
                            tasks, assignment, identity.faults);
@@ -198,7 +213,7 @@ int main(int argc, char** argv) {
       contained.faults.overrun_ticks = sample.uniform_int(0, 3);
       contained.faults.overrun_probability = sample.uniform(0.2, 1.0);
       contained.faults.containment = ContainmentPolicy::kBudgetEnforcement;
-      const SimResult guarded = simulate(tasks, assignment, contained);
+      const SimResult guarded = simulate_checked(contained);
       if (!guarded.misses.empty()) {
         reporter.violation(entry.algorithm->name() +
                                ": budget enforcement let an overrun miss",
@@ -209,7 +224,7 @@ int main(int argc, char** argv) {
       // overran can miss (no collateral victims).
       SimConfig demoted = contained;
       demoted.faults.containment = ContainmentPolicy::kPriorityDemotion;
-      const SimResult shielded = simulate(tasks, assignment, demoted);
+      const SimResult shielded = simulate_checked(demoted);
       for (const DeadlineMiss& miss : shielded.misses) {
         for (std::size_t rank = 0; rank < tasks.size(); ++rank) {
           if (tasks[rank].id == miss.task &&
@@ -230,7 +245,7 @@ int main(int argc, char** argv) {
         failing.faults.failed_processor = static_cast<std::size_t>(
             sample.uniform_int(0, static_cast<Time>(config.processors) - 1));
         failing.faults.failure_time = sample.uniform_int(0, sim.horizon);
-        const SimResult survived = simulate(tasks, assignment, failing);
+        const SimResult survived = simulate_checked(failing);
         if (survived.busy_time[failing.faults.failed_processor] >
             failing.faults.failure_time) {
           reporter.violation(entry.algorithm->name() +
