@@ -16,6 +16,7 @@
 #include "bounds/harmonic.hpp"
 #include "bounds/ll_bound.hpp"
 #include "bounds/scaled_periods.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "partition/baselines.hpp"
 #include "partition/rmts.hpp"
@@ -35,16 +36,10 @@ inline void banner(const std::string& id, const std::string& claim,
 
 namespace detail {
 
-/// JSON string escaping for the few non-numeric cells (algorithm names).
-inline std::string json_escape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (const char c : raw) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+/// JSON string escaping for non-numeric cells: the shared escaper from
+/// common/json.hpp, which also covers control characters so BENCH_e*.json
+/// stays valid JSON for any cell content.
+using rmts::json_escape;
 
 /// Emits a cell as a bare JSON number when it parses as one, else as a
 /// string, so plotting scripts get typed values without a schema.  "inf"

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <stdexcept>
 
 namespace rmts {
 
@@ -80,6 +81,17 @@ void ThreadPool::worker_loop() {
     task();
     lock.lock();
   }
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  if (threads_.empty()) {
+    throw std::logic_error("ThreadPool::post requires at least one worker");
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.emplace_back(std::move(task));
+  }
+  wake_.notify_one();
 }
 
 void ThreadPool::run(std::size_t count, std::size_t parallelism,

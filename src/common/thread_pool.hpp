@@ -48,6 +48,16 @@ class ThreadPool {
   void run(std::size_t count, std::size_t parallelism,
            const std::function<void(std::size_t)>& fn);
 
+  /// Asynchronous submission: enqueues `task` and returns immediately;
+  /// some background worker runs it.  This is the batched-dispatch path of
+  /// the admission-control server: the event loop posts request batches
+  /// and never blocks on them.  Requires workers() >= 1 (there is nobody
+  /// else to run the task; checked, throws std::logic_error).  `task` must
+  /// not throw -- there is no caller to rethrow to (std::terminate).
+  /// Tasks still queued when the pool is destroyed are dropped, so owners
+  /// must drain (wait for their own completion signals) before teardown.
+  void post(std::function<void()> task);
+
  private:
   void worker_loop();
 

@@ -1,0 +1,216 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "server/json.hpp"
+
+namespace rmts::server {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port, int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("not a numeric IPv4 address: " + host);
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail("socket");
+
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail("connect");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+std::string Client::request(std::string_view line) {
+  send_line(line);
+  return read_reply();
+}
+
+void Client::send_line(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_reply() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) throw TransportError("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw TransportError("timed out waiting for reply");
+    }
+    fail("recv");
+  }
+}
+
+void Client::shutdown_write() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+namespace {
+
+void write_common(JsonWriter& w, std::string_view op, std::size_t processors,
+                  const TaskSet& tasks, std::string_view alg,
+                  std::string_view bound, std::int64_t id) {
+  w.key("op");
+  w.value(op);
+  if (id >= 0) {
+    w.key("id");
+    w.value(id);
+  }
+  w.key("m");
+  w.value(processors);
+  w.key("tasks");
+  w.begin_array();
+  for (const Task& task : tasks) {
+    w.begin_array();
+    w.value(static_cast<std::int64_t>(task.wcet));
+    w.value(static_cast<std::int64_t>(task.period));
+    w.end_array();
+  }
+  w.end_array();
+  if (!alg.empty()) {
+    w.key("alg");
+    w.value(alg);
+  }
+  if (!bound.empty()) {
+    w.key("bound");
+    w.value(bound);
+  }
+}
+
+}  // namespace
+
+std::string make_admit_request(std::size_t processors, const TaskSet& tasks,
+                               std::string_view alg, std::string_view bound,
+                               std::int64_t id) {
+  JsonWriter w;
+  w.begin_object();
+  write_common(w, "admit", processors, tasks, alg, bound, id);
+  w.end_object();
+  return w.str();
+}
+
+std::string make_analyze_request(std::size_t processors, const TaskSet& tasks,
+                                 std::string_view alg, std::string_view bound,
+                                 std::int64_t id) {
+  JsonWriter w;
+  w.begin_object();
+  write_common(w, "analyze", processors, tasks, alg, bound, id);
+  w.end_object();
+  return w.str();
+}
+
+std::string make_robustness_request(std::size_t processors,
+                                    const TaskSet& tasks, std::string_view alg,
+                                    std::string_view bound, double max_factor,
+                                    std::uint64_t fault_seed, std::int64_t id) {
+  JsonWriter w;
+  w.begin_object();
+  write_common(w, "robustness", processors, tasks, alg, bound, id);
+  if (max_factor > 0.0) {
+    w.key("max_factor");
+    w.value(max_factor);
+  }
+  if (fault_seed != 0) {
+    w.key("fault_seed");
+    w.value(fault_seed);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string make_simulate_request(std::size_t processors, const TaskSet& tasks,
+                                  std::string_view alg, std::string_view bound,
+                                  std::int64_t id) {
+  JsonWriter w;
+  w.begin_object();
+  write_common(w, "simulate", processors, tasks, alg, bound, id);
+  w.end_object();
+  return w.str();
+}
+
+std::string make_stats_request(std::int64_t id) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("op");
+  w.value("stats");
+  if (id >= 0) {
+    w.key("id");
+    w.value(id);
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace rmts::server

@@ -1,0 +1,81 @@
+// Blocking TCP client for the admission-control protocol.
+//
+// One Client is one connection.  It is deliberately simple -- blocking
+// socket with a receive timeout, one buffered reader -- because its users
+// (rmts_loadgen, bench_e18, the server smoke tests) each drive many
+// independent connections from their own threads; the concurrency lives
+// there, not here.  The request-builder helpers render the exact wire
+// documents described in server/protocol.hpp so every caller speaks the
+// same dialect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "tasks/task_set.hpp"
+
+namespace rmts::server {
+
+/// Socket-level failure talking to the service: connect refused, peer
+/// closed mid-reply, receive timeout.  Protocol-level failures (ok:false
+/// replies) are ordinary return values, matching the repo's error
+/// philosophy.
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+class Client {
+ public:
+  /// Connects to host:port (numeric IPv4 address) with a bound on how
+  /// long any later request() may block.  Throws TransportError.
+  Client(const std::string& host, std::uint16_t port, int timeout_ms = 5000);
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line and blocks for its reply line (both without
+  /// the trailing '\n').  The protocol answers in order, so pipelining
+  /// callers may also interleave send_line()/read_reply() directly.
+  std::string request(std::string_view line);
+
+  /// Writes `line` plus the terminating newline.
+  void send_line(std::string_view line);
+
+  /// Blocks for the next complete reply line.
+  std::string read_reply();
+
+  /// Half-closes the write side so the server sees EOF and, once every
+  /// pending reply is flushed, closes the connection.
+  void shutdown_write() noexcept;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_{-1};
+  std::string buffer_;  ///< Bytes received beyond the last returned line.
+};
+
+/// Request builders (the "tasks" field is [[wcet, period], ...] in RM
+/// order; the server re-validates and re-sorts anyway).  Empty alg/bound
+/// omit the field, selecting the server defaults (rmts / hc).
+[[nodiscard]] std::string make_admit_request(
+    std::size_t processors, const TaskSet& tasks, std::string_view alg = {},
+    std::string_view bound = {}, std::int64_t id = -1);
+[[nodiscard]] std::string make_analyze_request(
+    std::size_t processors, const TaskSet& tasks, std::string_view alg = {},
+    std::string_view bound = {}, std::int64_t id = -1);
+[[nodiscard]] std::string make_robustness_request(
+    std::size_t processors, const TaskSet& tasks, std::string_view alg = {},
+    std::string_view bound = {}, double max_factor = 0.0,
+    std::uint64_t fault_seed = 0, std::int64_t id = -1);
+[[nodiscard]] std::string make_simulate_request(
+    std::size_t processors, const TaskSet& tasks, std::string_view alg = {},
+    std::string_view bound = {}, std::int64_t id = -1);
+[[nodiscard]] std::string make_stats_request(std::int64_t id = -1);
+
+}  // namespace rmts::server

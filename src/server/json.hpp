@@ -1,0 +1,128 @@
+// Minimal JSON document model for the admission-control protocol.
+//
+// The wire format (server/protocol.hpp) is one JSON object per line, so
+// the parser only has to handle small, bounded documents; it is strict
+// (RFC 8259 grammar, no comments, no trailing commas) and defensive:
+// nesting depth is capped, and every failure returns an error message
+// naming the offset instead of throwing -- malformed requests are an
+// expected input, not a caller contract violation.  The writer half
+// (JsonWriter) renders replies with the shared escaper of
+// common/json.hpp, the same one the bench reports use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rmts::server {
+
+/// One parsed JSON value.  Objects keep their members in document order;
+/// find() returns the first member with a given key.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  /// True for numbers written without fraction/exponent that fit int64.
+  [[nodiscard]] bool is_int() const noexcept { return is_number() && has_int_; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Accessors assume the matching kind (callers check first; the router
+  /// validates every field before reading it).
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_double() const noexcept { return number_; }
+  [[nodiscard]] std::int64_t as_int() const noexcept { return int_; }
+  [[nodiscard]] const std::string& as_string() const noexcept { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  /// First member named `key`, or nullptr.  Valid for objects only.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  bool has_int_{false};
+  double number_{0.0};
+  std::int64_t int_{0};
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses `text` as one complete JSON document (trailing whitespace
+/// allowed, trailing garbage rejected).  Returns true on success; on
+/// failure `error` describes the problem and the byte offset.
+bool json_parse(std::string_view text, JsonValue& out, std::string& error);
+
+/// Locale-independent shortest-roundtrip rendering of a double; non-finite
+/// values render as null (JSON has no inf/nan).
+[[nodiscard]] std::string json_number(double value);
+
+/// Streaming writer for protocol replies.  Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("ok"); w.value(true);
+///   w.key("margin"); w.value(1.25);
+///   w.end_object();
+///   w.str();  // the document
+/// Commas are inserted automatically; keys use the shared escaper.
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Starts an object member; must be followed by exactly one value (or
+  /// container).
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(bool flag);
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void null();
+  /// Re-emits a parsed scalar (used to echo request ids verbatim);
+  /// arrays/objects echo as null.
+  void value(const JsonValue& scalar);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void open(char bracket);
+  void close(char bracket);
+  void separate();
+
+  std::string out_;
+  /// One entry per open container: whether a value has been written at
+  /// this level (=> next value needs a leading comma).
+  std::vector<bool> wrote_value_;
+  bool after_key_{false};
+};
+
+}  // namespace rmts::server

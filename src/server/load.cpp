@@ -1,0 +1,206 @@
+#include "server/load.hpp"
+
+#include <bit>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "server/client.hpp"
+#include "tasks/task_set.hpp"
+#include "workload/generators.hpp"
+
+namespace rmts::server {
+
+namespace {
+
+std::size_t bucket_of(std::uint64_t micros) noexcept {
+  if (micros < 2) return 0;
+  const auto log2 = static_cast<std::size_t>(std::bit_width(micros) - 1);
+  return log2 < LoadReport::kBuckets ? log2 : LoadReport::kBuckets - 1;
+}
+
+/// One op's pre-encoded request strings (one per pooled task set; stats
+/// needs only one but keeps the same shape for uniform indexing).
+struct OpRequests {
+  double weight{0.0};
+  std::vector<std::string> lines;
+};
+
+/// Replies are rendered by JsonWriter without whitespace, so exact
+/// substring probes are reliable (and far cheaper than parsing).
+bool contains(const std::string& reply, std::string_view needle) {
+  return reply.find(needle) != std::string::npos;
+}
+
+void classify(const std::string& reply, LoadReport& report) {
+  if (contains(reply, "\"ok\":true")) {
+    ++report.ok;
+    if (contains(reply, "\"accepted\":true")) ++report.accepted;
+  } else if (contains(reply, "\"error\":\"overloaded\"")) {
+    ++report.shed;
+  } else {
+    ++report.errors;
+  }
+}
+
+}  // namespace
+
+std::uint64_t LoadReport::percentile_micros(double p) const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : histogram) total += count;
+  if (total == 0) return 0;
+  const auto rank =
+      static_cast<std::uint64_t>(p * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += histogram[b];
+    if (seen >= rank) return (std::uint64_t{1} << (b + 1)) - 1;
+  }
+  return max_micros;
+}
+
+void LoadReport::merge(const LoadReport& other) noexcept {
+  requests += other.requests;
+  ok += other.ok;
+  accepted += other.accepted;
+  shed += other.shed;
+  errors += other.errors;
+  transport_errors += other.transport_errors;
+  if (other.max_micros > max_micros) max_micros = other.max_micros;
+  if (other.elapsed_seconds > elapsed_seconds) {
+    elapsed_seconds = other.elapsed_seconds;
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) histogram[b] += other.histogram[b];
+}
+
+LoadReport run_load(const LoadConfig& config) {
+  if (config.connections == 0) {
+    throw InvalidConfigError("run_load: connections must be >= 1");
+  }
+  if (!(config.seconds > 0.0)) {
+    throw InvalidConfigError("run_load: seconds must be positive");
+  }
+  if (config.port == 0) {
+    throw InvalidConfigError("run_load: port must be set");
+  }
+  if (config.task_pool == 0) {
+    throw InvalidConfigError("run_load: task_pool must be >= 1");
+  }
+
+  // Pre-generate the task-set pool and render every request string once;
+  // the hot loop only moves bytes.
+  WorkloadConfig workload;
+  workload.tasks = config.tasks;
+  workload.processors = config.processors;
+  workload.normalized_utilization = config.normalized_utilization;
+  Rng rng(config.seed);
+  std::vector<TaskSet> pool;
+  pool.reserve(config.task_pool);
+  for (std::size_t i = 0; i < config.task_pool; ++i) {
+    Rng sample = rng.fork(i);
+    pool.push_back(generate(sample, workload));
+  }
+
+  std::vector<OpRequests> ops;
+  const auto add_op = [&](double weight, auto&& encode) {
+    if (weight <= 0.0) return;
+    OpRequests op;
+    op.weight = weight;
+    op.lines.reserve(pool.size());
+    for (const TaskSet& tasks : pool) op.lines.push_back(encode(tasks));
+    ops.push_back(std::move(op));
+  };
+  add_op(config.mix.admit, [&](const TaskSet& tasks) {
+    return make_admit_request(config.processors, tasks, config.algorithm,
+                              config.bound);
+  });
+  add_op(config.mix.analyze, [&](const TaskSet& tasks) {
+    return make_analyze_request(config.processors, tasks, config.algorithm,
+                                config.bound);
+  });
+  add_op(config.mix.robustness, [&](const TaskSet& tasks) {
+    return make_robustness_request(config.processors, tasks, config.algorithm,
+                                   config.bound);
+  });
+  add_op(config.mix.simulate, [&](const TaskSet& tasks) {
+    return make_simulate_request(config.processors, tasks, config.algorithm,
+                                 config.bound);
+  });
+  add_op(config.mix.stats,
+         [&](const TaskSet&) { return make_stats_request(); });
+  if (ops.empty()) {
+    throw InvalidConfigError("run_load: the op mix is empty");
+  }
+  double total_weight = 0.0;
+  for (const OpRequests& op : ops) total_weight += op.weight;
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(config.seconds));
+
+  std::mutex merge_mutex;
+  LoadReport merged;
+  std::size_t connects_failed = 0;
+  std::string connect_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.connections);
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    threads.emplace_back([&, c] {
+      LoadReport local;
+      try {
+        Client client(config.host, config.port, config.timeout_ms);
+        Rng pick = Rng(config.seed).fork(0x10000 + c);
+        while (Clock::now() < deadline) {
+          // Weighted op choice, then a pooled task set.
+          double roll = pick.uniform() * total_weight;
+          std::size_t op_index = 0;
+          while (op_index + 1 < ops.size() && roll >= ops[op_index].weight) {
+            roll -= ops[op_index].weight;
+            ++op_index;
+          }
+          const OpRequests& op = ops[op_index];
+          const auto line_index = static_cast<std::size_t>(pick.uniform_int(
+              0, static_cast<std::int64_t>(op.lines.size()) - 1));
+
+          const auto sent = Clock::now();
+          const std::string reply = client.request(op.lines[line_index]);
+          const auto micros = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - sent)
+                  .count());
+
+          ++local.requests;
+          classify(reply, local);
+          ++local.histogram[bucket_of(micros)];
+          if (micros > local.max_micros) local.max_micros = micros;
+        }
+      } catch (const TransportError& e) {
+        ++local.transport_errors;
+        const std::scoped_lock lock(merge_mutex);
+        if (local.requests == 0) {
+          ++connects_failed;
+          connect_error = e.what();
+        }
+      }
+      local.elapsed_seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      const std::scoped_lock lock(merge_mutex);
+      merged.merge(local);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (connects_failed == config.connections) {
+    throw TransportError("run_load: no connection could be established (" +
+                         connect_error + ")");
+  }
+  return merged;
+}
+
+}  // namespace rmts::server

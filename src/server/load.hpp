@@ -1,0 +1,86 @@
+// Closed-loop load driver for rmts_serve, shared by the rmts_loadgen tool
+// and bench/bench_e18_server_throughput.
+//
+// run_load() opens `connections` independent Client connections, each on
+// its own thread, and keeps every one of them saturated with one
+// outstanding request at a time (a closed loop: offered load adapts to
+// service rate, so the measurement is throughput at full utilization, not
+// queueing collapse).  Requests are drawn from a pre-generated,
+// pre-encoded pool of task sets, so the driver spends its cycles on the
+// wire and the server -- not on JSON rendering -- and every run with the
+// same seed replays the same request sequence per connection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rmts::server {
+
+/// Relative frequencies of the operations in the generated mix; zero
+/// disables an op.  The default is the pure-admit mix E18 sweeps.
+struct OpMix {
+  double admit{1.0};
+  double analyze{0.0};
+  double robustness{0.0};
+  double simulate{0.0};
+  double stats{0.0};
+};
+
+struct LoadConfig {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};
+  std::size_t connections{8};
+  double seconds{2.0};
+  OpMix mix;
+  /// Workload of the generated task sets.
+  std::size_t tasks{16};
+  std::size_t processors{4};
+  double normalized_utilization{0.6};
+  std::uint64_t seed{42};
+  /// Distinct task sets pre-generated and cycled through.
+  std::size_t task_pool{64};
+  /// Empty = server default (rmts / hc).
+  std::string algorithm;
+  std::string bound;
+  int timeout_ms{10000};
+};
+
+/// Aggregated outcome of one run.  "shed" counts explicit overload
+/// rejections ({"ok":false,"error":"overloaded"}); "errors" counts every
+/// other ok:false reply; transport errors abort the connection's loop and
+/// are reported separately.
+struct LoadReport {
+  static constexpr std::size_t kBuckets = 32;
+
+  std::uint64_t requests{0};
+  std::uint64_t ok{0};
+  std::uint64_t accepted{0};  ///< admit/robustness replies with accepted:true
+  std::uint64_t shed{0};
+  std::uint64_t errors{0};
+  std::uint64_t transport_errors{0};
+  double elapsed_seconds{0.0};
+  std::uint64_t max_micros{0};
+  /// Bucket b counts replies with latency in [2^b, 2^(b+1)) us.
+  std::array<std::uint64_t, kBuckets> histogram{};
+
+  [[nodiscard]] double qps() const noexcept {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(requests) / elapsed_seconds
+               : 0.0;
+  }
+
+  /// Upper edge of the bucket holding the p-quantile reply (p in [0,1]).
+  [[nodiscard]] std::uint64_t percentile_micros(double p) const noexcept;
+
+  /// Accumulates another (per-connection) report.
+  void merge(const LoadReport& other) noexcept;
+};
+
+/// Runs the closed loop until `seconds` elapse; blocks until every
+/// connection thread has joined.  Throws InvalidConfigError for a config
+/// that cannot run (no connections, empty mix, port 0) and TransportError
+/// only if NO connection could be established at all.
+[[nodiscard]] LoadReport run_load(const LoadConfig& config);
+
+}  // namespace rmts::server

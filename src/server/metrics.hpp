@@ -1,0 +1,68 @@
+// Per-endpoint service metrics: request/error counters and a lock-free
+// log2 latency histogram, surfaced by the `stats` endpoint.
+//
+// record() is called from pool workers on every handled request; all
+// counters are relaxed atomics (stats is an observability endpoint, not a
+// synchronization point -- a snapshot may be mid-update by a few counts).
+// Latency buckets are powers of two in microseconds, so percentiles are
+// exact to within 2x, which is plenty to distinguish a 50 us admit cache
+// hit from a 50 ms robustness bisection.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace rmts::server {
+
+/// The service's endpoints plus a bucket for lines that never parsed far
+/// enough to name one.
+enum class Endpoint : std::uint8_t {
+  kAdmit,
+  kAnalyze,
+  kRobustness,
+  kSimulate,
+  kStats,
+  kMalformed,
+};
+inline constexpr std::size_t kEndpointCount = 6;
+
+[[nodiscard]] std::string_view endpoint_name(Endpoint endpoint) noexcept;
+
+class Metrics {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  /// Records one handled request: outcome and end-to-end latency (queue
+  /// wait + compute) in microseconds.  Thread-safe.
+  void record(Endpoint endpoint, bool error, std::uint64_t micros) noexcept;
+
+  struct EndpointSnapshot {
+    std::uint64_t requests{0};
+    std::uint64_t errors{0};
+    std::uint64_t max_micros{0};
+    /// Approximate percentiles from the log2 histogram (upper bucket
+    /// bounds); 0 when no request was recorded.
+    std::uint64_t p50_micros{0};
+    std::uint64_t p90_micros{0};
+    std::uint64_t p99_micros{0};
+  };
+
+  [[nodiscard]] EndpointSnapshot snapshot(Endpoint endpoint) const noexcept;
+
+  /// Total requests over all endpoints.
+  [[nodiscard]] std::uint64_t total_requests() const noexcept;
+
+ private:
+  struct PerEndpoint {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> max_micros{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> histogram{};
+  };
+
+  std::array<PerEndpoint, kEndpointCount> endpoints_{};
+};
+
+}  // namespace rmts::server

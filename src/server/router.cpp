@@ -1,0 +1,549 @@
+#include "server/router.hpp"
+
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analysis/robustness.hpp"
+#include "bounds/burchard.hpp"
+#include "bounds/harmonic.hpp"
+#include "bounds/ll_bound.hpp"
+#include "bounds/scaled_periods.hpp"
+#include "common/error.hpp"
+#include "partition/baselines.hpp"
+#include "partition/edf_split.hpp"
+#include "partition/rmts.hpp"
+#include "partition/rmts_light.hpp"
+#include "partition/spa.hpp"
+#include "rta/rta.hpp"
+#include "server/json.hpp"
+#include "server/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace rmts::server {
+
+namespace {
+
+/// Internal signal for "this request is malformed"; converted into an
+/// ok:false reply by handle().  Distinct from rmts::Error so library
+/// contract violations (which we also map to ok:false) keep their own
+/// messages.
+struct ProtocolError {
+  std::string message;
+};
+
+[[noreturn]] void reject(std::string message) {
+  throw ProtocolError{std::move(message)};
+}
+
+const JsonValue& require(const JsonValue& request, std::string_view key) {
+  const JsonValue* value = request.find(key);
+  if (value == nullptr) reject("missing field '" + std::string(key) + "'");
+  return *value;
+}
+
+std::int64_t require_int(const JsonValue& request, std::string_view key,
+                         std::int64_t lo, std::int64_t hi) {
+  const JsonValue& value = require(request, key);
+  if (!value.is_int()) reject("field '" + std::string(key) + "' must be an integer");
+  const std::int64_t parsed = value.as_int();
+  if (parsed < lo || parsed > hi) {
+    reject("field '" + std::string(key) + "' out of range [" +
+           std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return parsed;
+}
+
+std::int64_t optional_int(const JsonValue& request, std::string_view key,
+                          std::int64_t fallback, std::int64_t lo,
+                          std::int64_t hi) {
+  if (request.find(key) == nullptr) return fallback;
+  return require_int(request, key, lo, hi);
+}
+
+double optional_double(const JsonValue& request, std::string_view key,
+                       double fallback, double lo, double hi) {
+  const JsonValue* value = request.find(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_number()) {
+    reject("field '" + std::string(key) + "' must be a number");
+  }
+  const double parsed = value->as_double();
+  if (!(parsed >= lo && parsed <= hi)) {
+    reject("field '" + std::string(key) + "' out of range");
+  }
+  return parsed;
+}
+
+std::string optional_string(const JsonValue& request, std::string_view key,
+                            std::string fallback) {
+  const JsonValue* value = request.find(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_string()) {
+    reject("field '" + std::string(key) + "' must be a string");
+  }
+  return value->as_string();
+}
+
+TaskSet parse_tasks(const JsonValue& request, std::size_t max_tasks) {
+  const JsonValue& tasks = require(request, "tasks");
+  if (!tasks.is_array()) reject("field 'tasks' must be an array");
+  if (tasks.items().empty()) reject("field 'tasks' must not be empty");
+  if (tasks.items().size() > max_tasks) {
+    reject("too many tasks (limit " + std::to_string(max_tasks) + ")");
+  }
+  std::vector<std::pair<Time, Time>> pairs;
+  pairs.reserve(tasks.items().size());
+  for (const JsonValue& entry : tasks.items()) {
+    if (!entry.is_array() || entry.items().size() != 2 ||
+        !entry.items()[0].is_int() || !entry.items()[1].is_int()) {
+      reject("each task must be a [wcet, period] pair of integers");
+    }
+    pairs.emplace_back(entry.items()[0].as_int(), entry.items()[1].as_int());
+  }
+  // TaskSet validates 0 < C <= T and throws InvalidTaskError with the
+  // offending values; handle() maps that to ok:false.
+  return TaskSet::from_pairs(pairs);
+}
+
+BoundPtr make_bound(const std::string& name) {
+  if (name == "ll") return std::make_shared<LiuLaylandBound>();
+  if (name == "hc") return std::make_shared<HarmonicChainBound>();
+  if (name == "tbound") return std::make_shared<TBound>();
+  if (name == "rbound") return std::make_shared<RBound>();
+  if (name == "burchard") return std::make_shared<BurchardBound>();
+  reject("unknown bound '" + name + "'");
+}
+
+std::shared_ptr<const Partitioner> make_algorithm(const std::string& name,
+                                                  const BoundPtr& bound) {
+  if (name == "rmts") return std::make_shared<Rmts>(bound);
+  if (name == "rmts-light") return std::make_shared<RmtsLight>();
+  if (name == "spa1") return std::make_shared<Spa1>();
+  if (name == "spa2") return std::make_shared<Spa2>();
+  if (name == "prm-ff") {
+    return std::make_shared<PartitionedRm>(FitPolicy::kFirstFit,
+                                           TaskOrder::kDecreasingUtilization,
+                                           Admission::kExactRta);
+  }
+  if (name == "edf-ts") return std::make_shared<EdfSplit>();
+  reject("unknown algorithm '" + name + "'");
+}
+
+/// Everything the partition-based endpoints share: task set, M, algorithm
+/// and its dispatch policy.
+struct PartitionRequest {
+  TaskSet tasks;
+  std::size_t processors{0};
+  std::string algorithm_key;
+  std::shared_ptr<const Partitioner> algorithm;
+  DispatchPolicy policy{DispatchPolicy::kFixedPriority};
+};
+
+PartitionRequest parse_partition_request(const JsonValue& request,
+                                         const RouterConfig& config) {
+  PartitionRequest out;
+  out.tasks = parse_tasks(request, config.max_tasks);
+  out.processors = static_cast<std::size_t>(require_int(
+      request, "m", 1, static_cast<std::int64_t>(config.max_processors)));
+  out.algorithm_key = optional_string(request, "alg", "rmts");
+  const std::string bound = optional_string(request, "bound", "hc");
+  out.algorithm = make_algorithm(out.algorithm_key, make_bound(bound));
+  out.policy = out.algorithm_key == "edf-ts"
+                   ? DispatchPolicy::kEarliestDeadlineFirst
+                   : DispatchPolicy::kFixedPriority;
+  return out;
+}
+
+/// Opens the uniform reply prologue {"ok":true,"op":...,"id":...} and
+/// leaves the object open for endpoint-specific fields.
+void begin_reply(JsonWriter& w, std::string_view op, const JsonValue* id) {
+  w.begin_object();
+  w.key("ok");
+  w.value(true);
+  w.key("op");
+  w.value(op);
+  if (id != nullptr) {
+    w.key("id");
+    w.value(*id);
+  }
+}
+
+void write_task_set_summary(JsonWriter& w, const TaskSet& tasks,
+                            std::size_t processors) {
+  w.key("n");
+  w.value(tasks.size());
+  w.key("utilization");
+  w.value(tasks.total_utilization());
+  w.key("normalized_utilization");
+  w.value(tasks.normalized_utilization(processors));
+}
+
+void write_assignment_summary(JsonWriter& w, const Assignment& assignment) {
+  w.key("accepted");
+  w.value(assignment.success);
+  w.key("splits");
+  w.value(assignment.split_task_count());
+  w.key("subtasks");
+  w.value(assignment.subtask_count());
+  w.key("assigned_utilization");
+  w.value(assignment.assigned_utilization());
+  if (!assignment.unassigned.empty()) {
+    w.key("unassigned");
+    w.begin_array();
+    for (const TaskId id : assignment.unassigned) {
+      w.value(static_cast<std::uint64_t>(id));
+    }
+    w.end_array();
+  }
+}
+
+void handle_admit(JsonWriter& w, const JsonValue& request,
+                  const RouterConfig& config) {
+  const PartitionRequest p = parse_partition_request(request, config);
+  const Assignment assignment = p.algorithm->partition(p.tasks, p.processors);
+  w.key("algorithm");
+  w.value(p.algorithm->name());
+  write_task_set_summary(w, p.tasks, p.processors);
+  if (const auto* rmts = dynamic_cast<const Rmts*>(p.algorithm.get())) {
+    w.key("guaranteed_bound");
+    w.value(rmts->guaranteed_bound(p.tasks));
+  }
+  write_assignment_summary(w, assignment);
+}
+
+void handle_analyze(JsonWriter& w, const JsonValue& request,
+                    const RouterConfig& config) {
+  const PartitionRequest p = parse_partition_request(request, config);
+  write_task_set_summary(w, p.tasks, p.processors);
+  w.key("harmonic");
+  w.value(p.tasks.is_harmonic());
+  w.key("max_task_utilization");
+  w.value(p.tasks.max_utilization());
+
+  // Per-bound utilization thresholds, all evaluated on the ORIGINAL set
+  // (re-evaluating on partitions would be unsound -- bounds/bound.hpp).
+  w.key("bounds");
+  w.begin_object();
+  for (const char* name : {"ll", "hc", "tbound", "rbound", "burchard"}) {
+    const BoundPtr bound = make_bound(name);
+    w.key(bound->name());
+    w.value(bound->evaluate(p.tasks));
+  }
+  w.end_object();
+  w.key("light_threshold");
+  w.value(light_task_threshold(p.tasks.size()));
+  w.key("rmts_cap");
+  w.value(rmts_bound_cap(p.tasks.size()));
+  w.key("light");
+  w.value(p.tasks.all_lighter_than(light_task_threshold(p.tasks.size())));
+
+  // RTA detail of the requested algorithm's partition: every subtask's
+  // measured response time against its synthetic deadline.
+  const Assignment assignment = p.algorithm->partition(p.tasks, p.processors);
+  w.key("rta");
+  w.begin_object();
+  w.key("algorithm");
+  w.value(p.algorithm->name());
+  write_assignment_summary(w, assignment);
+  if (assignment.success && p.policy == DispatchPolicy::kFixedPriority) {
+    w.key("processors");
+    w.begin_array();
+    for (const ProcessorAssignment& proc : assignment.processors) {
+      w.begin_object();
+      w.key("utilization");
+      w.value(proc.utilization());
+      const ProcessorRta rta = analyze_processor(proc.subtasks);
+      w.key("subtasks");
+      w.begin_array();
+      for (std::size_t s = 0; s < proc.subtasks.size(); ++s) {
+        const Subtask& subtask = proc.subtasks[s];
+        w.begin_object();
+        w.key("task");
+        w.value(static_cast<std::uint64_t>(subtask.task_id));
+        w.key("part");
+        w.value(static_cast<std::int64_t>(subtask.part));
+        w.key("wcet");
+        w.value(subtask.wcet);
+        w.key("period");
+        w.value(subtask.period);
+        w.key("deadline");
+        w.value(subtask.deadline);
+        w.key("response");
+        w.value(s < rta.response.size() ? rta.response[s] : Time{0});
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void handle_robustness(JsonWriter& w, const JsonValue& request,
+                       const RouterConfig& config) {
+  const PartitionRequest p = parse_partition_request(request, config);
+  RobustnessConfig robustness;
+  robustness.horizon_cap = config.sim_horizon_cap;
+  robustness.policy = p.policy;
+  robustness.fault_seed = static_cast<std::uint64_t>(optional_int(
+      request, "fault_seed", 1, 1, std::numeric_limits<std::int64_t>::max()));
+  robustness.max_overrun_factor = optional_double(
+      request, "max_factor", 4.0, 1.0, config.max_overrun_factor);
+  robustness.max_release_jitter = optional_int(
+      request, "max_jitter", 0, 0, std::numeric_limits<std::int64_t>::max() / 2);
+
+  const Assignment assignment = p.algorithm->partition(p.tasks, p.processors);
+  w.key("algorithm");
+  w.value(p.algorithm->name());
+  write_task_set_summary(w, p.tasks, p.processors);
+  w.key("accepted");
+  w.value(assignment.success);
+  if (!assignment.success) return;
+
+  const RobustnessReport report =
+      analyze_robustness(p.tasks, assignment, robustness);
+  w.key("simulated_overrun_margin");
+  w.value(report.simulated_overrun_margin);
+  w.key("simulated_jitter_margin");
+  w.value(report.simulated_jitter_margin);
+  w.key("analytic_supported");
+  w.value(report.analytic_supported);
+  if (report.analytic_supported) {
+    w.key("analytic_overrun_margin");
+    w.value(report.analytic_overrun_margin);
+    w.key("analytic_jitter_margin");
+    w.value(report.analytic_jitter_margin);
+  }
+}
+
+ContainmentPolicy parse_containment(const std::string& name) {
+  if (name == "none") return ContainmentPolicy::kNone;
+  if (name == "budget") return ContainmentPolicy::kBudgetEnforcement;
+  if (name == "demote") return ContainmentPolicy::kPriorityDemotion;
+  reject("unknown containment policy '" + name + "'");
+}
+
+FaultModel parse_faults(const JsonValue& request) {
+  FaultModel faults;
+  const JsonValue* spec = request.find("faults");
+  if (spec == nullptr) return faults;
+  if (!spec->is_object()) reject("field 'faults' must be an object");
+  faults.overrun_factor = optional_double(*spec, "factor", 1.0, 0.0, 1e6);
+  faults.overrun_ticks = optional_int(*spec, "ticks", 0, 0, 1'000'000'000);
+  faults.overrun_probability = optional_double(*spec, "prob", 1.0, 0.0, 1.0);
+  faults.release_jitter =
+      optional_int(*spec, "jitter", 0, 0, 1'000'000'000'000);
+  faults.seed = static_cast<std::uint64_t>(optional_int(
+      *spec, "seed", 0, 0, std::numeric_limits<std::int64_t>::max()));
+  faults.containment =
+      parse_containment(optional_string(*spec, "containment", "none"));
+  const std::int64_t fail_proc = optional_int(*spec, "fail_proc", -1, -1,
+                                              1'000'000);
+  if (fail_proc >= 0) {
+    faults.failed_processor = static_cast<std::size_t>(fail_proc);
+    faults.failure_time =
+        optional_int(*spec, "fail_at", 0, 0, kTimeInfinity / 2);
+  }
+  return faults;
+}
+
+void handle_simulate(JsonWriter& w, const JsonValue& request,
+                     const RouterConfig& config) {
+  const PartitionRequest p = parse_partition_request(request, config);
+  SimConfig sim;
+  sim.policy = p.policy;
+  sim.faults = parse_faults(request);
+  sim.stop_at_first_miss = false;
+  const Time cap = optional_int(request, "horizon_cap", config.sim_horizon_cap,
+                                1, config.sim_horizon_cap);
+  sim.horizon = recommended_horizon(p.tasks, cap);
+
+  const Assignment assignment = p.algorithm->partition(p.tasks, p.processors);
+  w.key("algorithm");
+  w.value(p.algorithm->name());
+  write_task_set_summary(w, p.tasks, p.processors);
+  w.key("accepted");
+  w.value(assignment.success);
+  if (!assignment.success) return;
+
+  // One workspace per worker thread: repeated simulate requests on a
+  // connection reuse it allocation-free (the PR 3 hot path).
+  thread_local SimWorkspace workspace;
+  const SimResult& run = simulate(p.tasks, assignment, sim, workspace);
+  w.key("schedulable");
+  w.value(run.schedulable);
+  w.key("simulated_until");
+  w.value(run.simulated_until);
+  w.key("events");
+  w.value(run.events);
+  w.key("jobs_released");
+  w.value(run.jobs_released);
+  w.key("jobs_completed");
+  w.value(run.jobs_completed);
+  w.key("preemptions");
+  w.value(run.preemptions);
+  w.key("migrations");
+  w.value(run.migrations);
+  w.key("misses");
+  w.value(run.misses.size());
+  if (!run.misses.empty()) {
+    constexpr std::size_t kMaxEchoedMisses = 8;
+    w.key("first_misses");
+    w.begin_array();
+    for (std::size_t i = 0; i < run.misses.size() && i < kMaxEchoedMisses; ++i) {
+      w.begin_object();
+      w.key("task");
+      w.value(static_cast<std::uint64_t>(run.misses[i].task));
+      w.key("release");
+      w.value(run.misses[i].release);
+      w.key("deadline");
+      w.value(run.misses[i].deadline);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (sim.faults.active()) {
+    w.key("degraded");
+    w.value(run.jobs_degraded);
+    w.key("aborted");
+    w.value(run.jobs_aborted);
+    w.key("demoted");
+    w.value(run.jobs_demoted);
+    w.key("orphaned");
+    w.value(run.subtasks_orphaned);
+  }
+}
+
+void write_endpoint_stats(JsonWriter& w, const Metrics& metrics,
+                          Endpoint endpoint) {
+  const Metrics::EndpointSnapshot snap = metrics.snapshot(endpoint);
+  w.key(endpoint_name(endpoint));
+  w.begin_object();
+  w.key("requests");
+  w.value(snap.requests);
+  w.key("errors");
+  w.value(snap.errors);
+  w.key("p50_us");
+  w.value(snap.p50_micros);
+  w.key("p90_us");
+  w.value(snap.p90_micros);
+  w.key("p99_us");
+  w.value(snap.p99_micros);
+  w.key("max_us");
+  w.value(snap.max_micros);
+  w.end_object();
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config, const Metrics& metrics,
+               std::function<RuntimeStats()> runtime)
+    : config_(config), metrics_(metrics), runtime_(std::move(runtime)) {}
+
+HandleOutcome Router::handle(std::string_view line) const {
+  JsonValue request;
+  std::string parse_error;
+  if (!json_parse(line, request, parse_error)) {
+    return {error_reply("parse: " + parse_error), Endpoint::kMalformed, true};
+  }
+  if (!request.is_object()) {
+    return {error_reply("request must be a JSON object"), Endpoint::kMalformed,
+            true};
+  }
+  const JsonValue* op_field = request.find("op");
+  if (op_field == nullptr || !op_field->is_string()) {
+    return {error_reply("missing string field 'op'"), Endpoint::kMalformed,
+            true};
+  }
+  const std::string& op = op_field->as_string();
+  const JsonValue* id = request.find("id");
+
+  Endpoint endpoint;
+  if (op == "admit") {
+    endpoint = Endpoint::kAdmit;
+  } else if (op == "analyze") {
+    endpoint = Endpoint::kAnalyze;
+  } else if (op == "robustness") {
+    endpoint = Endpoint::kRobustness;
+  } else if (op == "simulate") {
+    endpoint = Endpoint::kSimulate;
+  } else if (op == "stats") {
+    endpoint = Endpoint::kStats;
+  } else {
+    return {error_reply("unknown op '" + op + "'"), Endpoint::kMalformed, true};
+  }
+
+  const auto fail = [&](const std::string& message) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("ok");
+    w.value(false);
+    w.key("op");
+    w.value(op);
+    if (id != nullptr) {
+      w.key("id");
+      w.value(*id);
+    }
+    w.key("error");
+    w.value(message);
+    w.end_object();
+    return HandleOutcome{w.str(), endpoint, true};
+  };
+
+  try {
+    JsonWriter w;
+    begin_reply(w, op, id);
+    switch (endpoint) {
+      case Endpoint::kAdmit: handle_admit(w, request, config_); break;
+      case Endpoint::kAnalyze: handle_analyze(w, request, config_); break;
+      case Endpoint::kRobustness: handle_robustness(w, request, config_); break;
+      case Endpoint::kSimulate: handle_simulate(w, request, config_); break;
+      case Endpoint::kStats: {
+        if (runtime_) {
+          const RuntimeStats runtime = runtime_();
+          w.key("uptime_seconds");
+          w.value(runtime.uptime_seconds);
+          w.key("workers");
+          w.value(runtime.workers);
+          w.key("connections_accepted");
+          w.value(runtime.connections_accepted);
+          w.key("connections_active");
+          w.value(runtime.connections_active);
+          w.key("requests_shed");
+          w.value(runtime.requests_shed);
+          w.key("batches_dispatched");
+          w.value(runtime.batches_dispatched);
+          w.key("in_flight");
+          w.value(runtime.in_flight);
+        }
+        w.key("requests_total");
+        w.value(metrics_.total_requests());
+        w.key("endpoints");
+        w.begin_object();
+        for (std::size_t e = 0; e < kEndpointCount; ++e) {
+          write_endpoint_stats(w, metrics_, static_cast<Endpoint>(e));
+        }
+        w.end_object();
+        break;
+      }
+      case Endpoint::kMalformed: break;  // unreachable
+    }
+    w.end_object();
+    return {w.str(), endpoint, false};
+  } catch (const ProtocolError& error) {
+    return fail(error.message);
+  } catch (const Error& error) {
+    // Library contract violations (invalid task parameters, malformed
+    // fault models) -- expected for hostile inputs, reported verbatim.
+    return fail(error.what());
+  }
+}
+
+HandleOutcome Router::oversized_line() const {
+  return {error_reply("line too long"), Endpoint::kMalformed, true};
+}
+
+}  // namespace rmts::server

@@ -1,0 +1,553 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "server/protocol.hpp"
+
+namespace rmts::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// epoll user-data tokens for the three non-connection fds; connection
+/// tokens start above so they can never collide.
+constexpr std::uint64_t kListenToken = 1;
+constexpr std::uint64_t kStopToken = 2;
+constexpr std::uint64_t kCompletionToken = 3;
+constexpr std::uint64_t kFirstConnectionToken = 16;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw InvalidConfigError(what + ": " + std::strerror(errno));
+}
+
+/// One request handed to the worker pool.
+struct PendingRequest {
+  std::uint64_t token{0};
+  std::string line;
+  Clock::time_point enqueued;
+};
+
+/// One computed reply travelling back to the loop.
+struct Completion {
+  std::uint64_t token{0};
+  std::string reply;
+};
+
+struct Connection {
+  int fd{-1};
+  std::uint64_t token{0};
+  LineDecoder decoder;
+  /// Unsent reply bytes; write_offset avoids O(n) front erases.
+  std::string write_buffer;
+  std::size_t write_offset{0};
+  /// Requests of this connection currently dispatched or queued.
+  std::size_t pending{0};
+  bool read_closed{false};
+  /// Interest currently registered with epoll.
+  bool want_read{true};
+  bool want_write{false};
+
+  explicit Connection(int fd_in, std::uint64_t token_in, std::size_t max_line)
+      : fd(fd_in), token(token_in), decoder(max_line) {}
+
+  [[nodiscard]] std::size_t unsent() const noexcept {
+    return write_buffer.size() - write_offset;
+  }
+};
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerConfig config_in)
+      : config(normalize(std::move(config_in))),
+        router(config.router, metrics, [this] { return runtime_snapshot(); }),
+        pool(std::make_unique<ThreadPool>(config.workers)) {
+    start_time = Clock::now();
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+      close_all();
+      throw InvalidConfigError("invalid listen address: " + config.host);
+    }
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      close_all();
+      throw_errno("bind " + config.host + ":" + std::to_string(config.port));
+    }
+    if (::listen(listen_fd, 512) != 0) {
+      close_all();
+      throw_errno("listen");
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+    bound_port = ntohs(bound.sin_port);
+
+    stop_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    completion_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (stop_fd < 0 || completion_fd < 0 || epoll_fd < 0) {
+      close_all();
+      throw_errno("eventfd/epoll_create1");
+    }
+    try {
+      add_fd(listen_fd, kListenToken, EPOLLIN);
+      add_fd(stop_fd, kStopToken, EPOLLIN);
+      add_fd(completion_fd, kCompletionToken, EPOLLIN);
+    } catch (...) {
+      close_all();  // ~Impl will not run if the constructor throws
+      throw;
+    }
+  }
+
+  ~Impl() {
+    // Join the workers FIRST: a batch abandoned at the drain deadline may
+    // still be touching the completion queue and eventfd.  Only then is it
+    // safe to close the remaining fds.
+    pool.reset();
+    close_all();
+  }
+
+  static ServerConfig normalize(ServerConfig config) {
+    if (config.workers == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      config.workers = hw > 1 ? hw - 1 : 1;
+    }
+    if (config.batch_size == 0) config.batch_size = 1;
+    if (config.max_in_flight == 0) config.max_in_flight = 1;
+    return config;
+  }
+
+  void add_fd(int fd, std::uint64_t token, std::uint32_t events) const {
+    epoll_event event{};
+    event.events = events;
+    event.data.u64 = token;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+      throw_errno("epoll_ctl(ADD)");
+    }
+  }
+
+  /// Closes the client-visible sockets (run()'s teardown).  The eventfds
+  /// and the epoll fd stay open until ~Impl so a straggling worker can
+  /// still signal a dead-but-valid fd rather than a recycled number.
+  void close_sockets() noexcept {
+    for (auto& [token, conn] : connections) {
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    connections.clear();
+    connections_active.store(0, std::memory_order_relaxed);
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+  }
+
+  void close_all() noexcept {
+    close_sockets();
+    for (int* fd : {&stop_fd, &completion_fd, &epoll_fd}) {
+      if (*fd >= 0) {
+        ::close(*fd);
+        *fd = -1;
+      }
+    }
+  }
+
+  RuntimeStats runtime_snapshot() const noexcept {
+    RuntimeStats out;
+    out.connections_accepted =
+        connections_accepted.load(std::memory_order_relaxed);
+    out.connections_active = connections_active.load(std::memory_order_relaxed);
+    out.requests_shed = requests_shed.load(std::memory_order_relaxed);
+    out.batches_dispatched =
+        batches_dispatched.load(std::memory_order_relaxed);
+    out.in_flight = in_flight.load(std::memory_order_relaxed);
+    out.uptime_seconds =
+        std::chrono::duration<double>(Clock::now() - start_time).count();
+    out.workers = config.workers;
+    return out;
+  }
+
+  // ---- event loop -------------------------------------------------------
+
+  void run() {
+    std::vector<epoll_event> events(128);
+    while (true) {
+      int timeout_ms = -1;
+      if (draining) {
+        if (drain_complete()) break;
+        const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            drain_deadline - Clock::now());
+        if (remaining.count() <= 0) break;  // deadline: abandon stragglers
+        timeout_ms = static_cast<int>(remaining.count()) + 1;
+      }
+      const int ready =
+          ::epoll_wait(epoll_fd, events.data(),
+                       static_cast<int>(events.size()), timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("epoll_wait");
+      }
+      for (int i = 0; i < ready; ++i) {
+        const std::uint64_t token = events[static_cast<std::size_t>(i)].data.u64;
+        const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+        if (token == kListenToken) {
+          accept_ready();
+        } else if (token == kStopToken) {
+          begin_drain();
+        } else if (token == kCompletionToken) {
+          deliver_completions();
+        } else {
+          connection_ready(token, mask);
+        }
+      }
+      dispatch_batches();
+    }
+    close_sockets();
+  }
+
+  void begin_drain() {
+    // Clear the eventfd either way so a level-triggered epoll does not
+    // keep reporting the stop token while the drain runs.
+    std::uint64_t counter = 0;
+    (void)::read(stop_fd, &counter, sizeof counter);
+    if (draining) return;
+    draining = true;
+    drain_deadline = Clock::now() + std::chrono::milliseconds(
+                                        config.drain_timeout_ms > 0
+                                            ? config.drain_timeout_ms
+                                            : 0);
+    if (listen_fd >= 0) {
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    // Stop reading everywhere: no new requests, existing ones drain.
+    for (auto& [token, conn] : connections) update_interest(*conn);
+  }
+
+  [[nodiscard]] bool drain_complete() {
+    if (in_flight.load(std::memory_order_acquire) != 0) return false;
+    {
+      const std::scoped_lock lock(completion_mutex);
+      if (!completion_queue.empty()) return false;
+    }
+    if (!pending_batch.empty()) return false;
+    for (const auto& [token, conn] : connections) {
+      if (conn->unsent() != 0 || conn->pending != 0) return false;
+    }
+    return true;
+  }
+
+  void accept_ready() {
+    while (true) {
+      const int fd =
+          ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        return;  // transient accept failure; the loop must not die
+      }
+      if (connections.size() >= config.max_connections) {
+        // Best-effort refusal; the connection never enters the loop.
+        const std::string reply = error_reply("too many connections") + "\n";
+        (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      const std::uint64_t token = next_token++;
+      auto conn = std::make_unique<Connection>(fd, token, config.max_line);
+      add_fd(fd, token, EPOLLIN);
+      connections.emplace(token, std::move(conn));
+      connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      connections_active.store(connections.size(), std::memory_order_relaxed);
+    }
+  }
+
+  void connection_ready(std::uint64_t token, std::uint32_t mask) {
+    const auto it = connections.find(token);
+    if (it == connections.end()) return;  // closed earlier in this wave
+    Connection& conn = *it->second;
+    if ((mask & (EPOLLERR | EPOLLHUP)) != 0) {
+      close_connection(token);
+      return;
+    }
+    if ((mask & EPOLLOUT) != 0 && !flush(conn)) {
+      close_connection(token);
+      return;
+    }
+    if ((mask & EPOLLIN) != 0 && conn.want_read && !read_ready(conn)) {
+      close_connection(token);
+      return;
+    }
+    finish_or_rearm(token);
+  }
+
+  /// Reads until EAGAIN/EOF, decoding and queueing requests.  Returns
+  /// false when the connection is dead (reset).
+  bool read_ready(Connection& conn) {
+    char buffer[64 * 1024];
+    while (true) {
+      const ssize_t got = ::recv(conn.fd, buffer, sizeof buffer, 0);
+      if (got > 0) {
+        conn.decoder.feed({buffer, static_cast<std::size_t>(got)});
+        drain_decoded_lines(conn);
+        if (static_cast<std::size_t>(got) < sizeof buffer) return true;
+        // Backpressure can flip want_read mid-read; honor it immediately.
+        if (!conn.want_read) return true;
+        continue;
+      }
+      if (got == 0) {
+        conn.read_closed = true;
+        return true;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  void drain_decoded_lines(Connection& conn) {
+    LineDecoder::Line line;
+    while (conn.decoder.next(line)) {
+      if (line.oversized) {
+        const HandleOutcome out = router.oversized_line();
+        metrics.record(out.endpoint, out.error, 0);
+        enqueue_reply(conn, out.reply);
+        continue;
+      }
+      if (line.text.empty()) continue;
+      // Load shedding: answer immediately instead of queueing without
+      // bound -- the event loop must stay responsive when the pool is
+      // saturated.
+      if (in_flight.load(std::memory_order_relaxed) + pending_batch.size() >=
+          config.max_in_flight) {
+        requests_shed.fetch_add(1, std::memory_order_relaxed);
+        enqueue_reply(conn, error_reply("overloaded"));
+        continue;
+      }
+      conn.pending += 1;
+      pending_batch.push_back(
+          PendingRequest{conn.token, std::move(line.text), Clock::now()});
+    }
+    update_interest(conn);
+  }
+
+  /// Posts this wave's decoded requests to the pool in batch_size chunks,
+  /// so a burst across many connections fans out over every worker.
+  void dispatch_batches() {
+    std::size_t begin = 0;
+    while (begin < pending_batch.size()) {
+      const std::size_t end =
+          std::min(pending_batch.size(), begin + config.batch_size);
+      std::vector<PendingRequest> chunk(
+          std::make_move_iterator(pending_batch.begin() +
+                                  static_cast<std::ptrdiff_t>(begin)),
+          std::make_move_iterator(pending_batch.begin() +
+                                  static_cast<std::ptrdiff_t>(end)));
+      begin = end;
+      in_flight.fetch_add(chunk.size(), std::memory_order_release);
+      batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+      pool->post([this, work = std::move(chunk)]() mutable { run_batch(work); });
+    }
+    pending_batch.clear();
+  }
+
+  /// Pool-worker side: handle every request of one batch, then wake the
+  /// loop once.  Completions are pushed BEFORE in_flight is decremented so
+  /// drain_complete() can never observe 0 with replies still unqueued.
+  void run_batch(std::vector<PendingRequest>& work) {
+    std::vector<Completion> done;
+    done.reserve(work.size());
+    for (PendingRequest& request : work) {
+      HandleOutcome out = router.handle(request.line);
+      const auto micros = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - request.enqueued)
+              .count());
+      metrics.record(out.endpoint, out.error, micros);
+      done.push_back(Completion{request.token, std::move(out.reply)});
+    }
+    {
+      const std::scoped_lock lock(completion_mutex);
+      for (Completion& completion : done) {
+        completion_queue.push_back(std::move(completion));
+      }
+    }
+    in_flight.fetch_sub(work.size(), std::memory_order_release);
+    std::uint64_t one = 1;
+    (void)::write(completion_fd, &one, sizeof one);
+  }
+
+  void deliver_completions() {
+    std::uint64_t counter = 0;
+    (void)::read(completion_fd, &counter, sizeof counter);
+    std::vector<Completion> ready;
+    {
+      const std::scoped_lock lock(completion_mutex);
+      ready.swap(completion_queue);
+    }
+    for (Completion& completion : ready) {
+      const auto it = connections.find(completion.token);
+      if (it == connections.end()) continue;  // connection died meanwhile
+      Connection& conn = *it->second;
+      if (conn.pending > 0) conn.pending -= 1;
+      enqueue_reply(conn, completion.reply);
+    }
+    // Flush + interest updates (and possibly closes) per touched conn.
+    for (const Completion& completion : ready) finish_or_rearm(completion.token);
+  }
+
+  void enqueue_reply(Connection& conn, const std::string& reply) {
+    conn.write_buffer += reply;
+    conn.write_buffer.push_back('\n');
+  }
+
+  /// Writes as much buffered reply data as the socket takes.  Returns
+  /// false when the connection is dead.
+  bool flush(Connection& conn) {
+    while (conn.unsent() != 0) {
+      const ssize_t sent =
+          ::send(conn.fd, conn.write_buffer.data() + conn.write_offset,
+                 conn.unsent(), MSG_NOSIGNAL);
+      if (sent > 0) {
+        conn.write_offset += static_cast<std::size_t>(sent);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;  // EPIPE / ECONNRESET
+    }
+    if (conn.write_offset == conn.write_buffer.size()) {
+      conn.write_buffer.clear();
+      conn.write_offset = 0;
+    } else if (conn.write_offset > (1u << 16) &&
+               conn.write_offset * 2 > conn.write_buffer.size()) {
+      conn.write_buffer.erase(0, conn.write_offset);
+      conn.write_offset = 0;
+    }
+    return true;
+  }
+
+  /// Flushes, re-registers interest, and closes once a half-closed
+  /// connection has nothing left to say.
+  void finish_or_rearm(std::uint64_t token) {
+    const auto it = connections.find(token);
+    if (it == connections.end()) return;
+    Connection& conn = *it->second;
+    if (!flush(conn)) {
+      close_connection(token);
+      return;
+    }
+    if (conn.read_closed && conn.unsent() == 0 && conn.pending == 0) {
+      close_connection(token);
+      return;
+    }
+    update_interest(conn);
+  }
+
+  void update_interest(Connection& conn) {
+    const bool want_read = !draining && !conn.read_closed &&
+                           conn.unsent() < config.max_write_buffer;
+    const bool want_write = conn.unsent() != 0;
+    if (want_read == conn.want_read && want_write == conn.want_write) return;
+    conn.want_read = want_read;
+    conn.want_write = want_write;
+    epoll_event event{};
+    event.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    event.data.u64 = conn.token;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &event);
+  }
+
+  void close_connection(std::uint64_t token) {
+    const auto it = connections.find(token);
+    if (it == connections.end()) return;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
+    ::close(it->second->fd);
+    connections.erase(it);
+    connections_active.store(connections.size(), std::memory_order_relaxed);
+  }
+
+  // ---- state ------------------------------------------------------------
+
+  ServerConfig config;
+  int listen_fd{-1};
+  int stop_fd{-1};
+  int completion_fd{-1};
+  int epoll_fd{-1};
+  std::uint16_t bound_port{0};
+  Clock::time_point start_time;
+
+  Metrics metrics;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections;
+  std::uint64_t next_token{kFirstConnectionToken};
+  std::vector<PendingRequest> pending_batch;
+
+  std::mutex completion_mutex;
+  std::vector<Completion> completion_queue;
+
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> requests_shed{0};
+  std::atomic<std::uint64_t> batches_dispatched{0};
+  std::atomic<std::uint64_t> in_flight{0};
+
+  bool draining{false};
+  Clock::time_point drain_deadline;
+
+  Router router;
+  // Reset FIRST in ~Impl, joining every worker while the router, metrics
+  // and completion queue the in-flight batches touch are still alive.
+  // (Batches still queued at that point are dropped by the pool.)
+  std::unique_ptr<ThreadPool> pool;
+};
+
+Server::Server(ServerConfig config) : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+Server::~Server() = default;
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+
+void Server::run() { impl_->run(); }
+
+void Server::request_stop() noexcept {
+  const int fd = impl_->stop_fd;
+  if (fd < 0) return;
+  std::uint64_t one = 1;
+  (void)::write(fd, &one, sizeof one);
+}
+
+const Metrics& Server::metrics() const noexcept { return impl_->metrics; }
+
+RuntimeStats Server::runtime_stats() const noexcept {
+  return impl_->runtime_snapshot();
+}
+
+const ServerConfig& Server::config() const noexcept { return impl_->config; }
+
+}  // namespace rmts::server

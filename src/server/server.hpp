@@ -1,0 +1,97 @@
+// rmts_serve: a batched, epoll-based TCP admission-control service.
+//
+// Architecture (DESIGN.md "Server architecture"):
+//
+//   accept ─▶ per-connection LineDecoder ─▶ request batches ─▶ ThreadPool
+//     ▲              (epoll loop thread)          │  post()      workers
+//     │                                           ▼                │
+//   clients ◀─ write buffers + EPOLLOUT ◀─ completion queue ◀──────┘
+//                                           (eventfd wakeup)
+//
+// The event-loop thread owns every socket and all framing; it never runs
+// analysis.  Decoded request lines are grouped into batches (at most
+// ServerConfig::batch_size requests each) and posted onto the persistent
+// worker pool (common/thread_pool.hpp), which runs the transport-free
+// Router.  Three protections keep the loop responsive under abuse:
+//
+//  * load shedding -- when dispatched-but-unfinished requests reach
+//    max_in_flight, new requests are answered immediately with
+//    {"ok":false,"error":"overloaded"} instead of queueing without bound;
+//  * write backpressure -- a connection whose unsent replies exceed
+//    max_write_buffer stops being read until the peer drains it;
+//  * graceful drain -- request_stop() (thread- and signal-safe) stops
+//    accepting and reading, lets every in-flight request finish and its
+//    reply flush, then returns from run(); a drain deadline bounds how
+//    long a stuck peer can hold the process up.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/metrics.hpp"
+#include "server/router.hpp"
+
+namespace rmts::server {
+
+struct ServerConfig {
+  /// Numeric listen address; the service speaks an unauthenticated
+  /// analysis protocol, so it defaults to loopback.
+  std::string host{"127.0.0.1"};
+  /// 0 = ephemeral; Server::port() reports the bound port.
+  std::uint16_t port{0};
+  /// Worker threads running the Router (>= 1; 0 = hardware concurrency
+  /// minus the event-loop thread, at least 1).
+  std::size_t workers{0};
+  /// Dispatched-but-unfinished request cap; beyond it requests shed.
+  std::size_t max_in_flight{256};
+  /// Max requests per posted pool task.  Batching amortizes the queue
+  /// mutex + wakeup per request; chunking one epoll wave into several
+  /// batches keeps every worker busy.
+  std::size_t batch_size{8};
+  std::size_t max_line{1 << 20};
+  /// Per-connection unsent-reply cap before reads pause (backpressure).
+  std::size_t max_write_buffer{4u << 20};
+  std::size_t max_connections{1024};
+  /// Hard bound on the graceful-drain phase of run().
+  int drain_timeout_ms{5000};
+  RouterConfig router;
+};
+
+/// The service.  Construction binds and listens (throwing
+/// InvalidConfigError on failure), so port() is valid -- and a client may
+/// connect -- before run() is entered.  run() blocks on the event loop
+/// until request_stop(); everything else is safe to call from any thread.
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actually-bound TCP port.
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Runs the event loop on the calling thread; returns after a graceful
+  /// drain completes (or its deadline expires).
+  void run();
+
+  /// Initiates shutdown; safe from any thread and from signal handlers
+  /// (a single eventfd write).  Idempotent.
+  void request_stop() noexcept;
+
+  [[nodiscard]] const Metrics& metrics() const noexcept;
+
+  /// Event-loop counters (the same snapshot the stats endpoint reports).
+  [[nodiscard]] RuntimeStats runtime_stats() const noexcept;
+
+  [[nodiscard]] const ServerConfig& config() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rmts::server

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/checked_math.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/time.hpp"
@@ -166,6 +167,32 @@ TEST(Table, ArityMismatchThrows) {
 TEST(Table, NumFormatting) {
   EXPECT_EQ(Table::num(0.5, 3), "0.500");
   EXPECT_EQ(Table::num(1.0 / 3.0, 2), "0.33");
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world 123"), "hello world 123");
+  EXPECT_EQ(json_quote("x"), "\"x\"");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscape, EscapesNamedControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(JsonEscape, EscapesBareControlCharactersAsUnicode) {
+  // The pre-fix escaper passed these through raw, producing invalid JSON
+  // in bench reports for any label containing control bytes.
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(json_escape(std::string{'a', '\0', 'b'}), "a\\u0000b");
+}
+
+TEST(JsonEscape, LeavesHighBytesAlone) {
+  // UTF-8 multibyte sequences must pass through unmodified.
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
 }
 
 }  // namespace

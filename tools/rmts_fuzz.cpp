@@ -17,6 +17,14 @@
 //    simulated ones (analysis/robustness.hpp soundness).
 //
 //   rmts_fuzz [seconds=10] [seed=1]
+//   rmts_fuzz proto [seconds=10] [seed=1]
+//
+// The `proto` mode fuzzes the admission-control service's codec instead:
+// random, truncated, mutated and oversized byte streams are fed through
+// the in-process LineDecoder + Router pipeline (no sockets), asserting
+// that nothing crashes, decoder memory stays under its cap, and every
+// reply -- including those for garbage -- is a well-formed one-line JSON
+// object carrying "ok" and, on failure, a non-empty "error".
 //
 // On violation the exact seed/attempt and fault configuration are printed
 // and the offending task set is written to
@@ -43,6 +51,11 @@
 #include "partition/rmts.hpp"
 #include "partition/rmts_light.hpp"
 #include "partition/spa.hpp"
+#include "server/client.hpp"
+#include "server/json.hpp"
+#include "server/metrics.hpp"
+#include "server/protocol.hpp"
+#include "server/router.hpp"
 #include "sim/simulator.hpp"
 #include "sim/simulator_reference.hpp"
 #include "workload/generators.hpp"
@@ -104,9 +117,171 @@ bool counters_equal(const SimResult& a, const SimResult& b) {
          a.subtasks_orphaned == b.subtasks_orphaned;
 }
 
+/// In-process protocol fuzz: random byte streams through the service
+/// codec.  Returns the number of violations found.
+std::uint64_t proto_fuzz(double seconds, std::uint64_t seed) {
+  constexpr std::size_t kMaxLine = 4096;  // small cap => oversized paths hit
+  server::Metrics metrics;
+  server::RouterConfig router_config;
+  router_config.max_tasks = 64;
+  router_config.max_processors = 16;
+  router_config.sim_horizon_cap = 200'000;
+  const server::Router router(router_config, metrics);
+
+  // A small pool of valid requests used as mutation seeds.
+  Rng pool_rng(seed);
+  std::vector<std::string> valid;
+  for (std::size_t i = 0; i < 16; ++i) {
+    Rng sample = pool_rng.fork(i);
+    WorkloadConfig config;
+    config.tasks = 8;
+    config.processors = 4;
+    config.normalized_utilization = 0.5;
+    const TaskSet tasks = generate(sample, config);
+    switch (i % 4) {
+      case 0: valid.push_back(server::make_admit_request(4, tasks)); break;
+      case 1: valid.push_back(server::make_analyze_request(4, tasks)); break;
+      case 2: valid.push_back(server::make_simulate_request(4, tasks)); break;
+      default: valid.push_back(server::make_stats_request()); break;
+    }
+  }
+
+  Rng rng(seed ^ 0x70726f746fULL);  // "proto"
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t attempts = 0;
+  std::uint64_t lines = 0;
+  std::uint64_t oversized = 0;
+  std::uint64_t violations = 0;
+  const auto fail = [&](const std::string& what, const std::string& detail) {
+    ++violations;
+    std::cerr << "PROTO VIOLATION: " << what << "\n  repro: seed " << seed
+              << ", attempt " << attempts << "\n  detail: " << detail << '\n';
+  };
+
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+             .count() < seconds) {
+    Rng sample = rng.fork(attempts++);
+    server::LineDecoder decoder(kMaxLine);
+
+    // Compose a stream of ~8 segments: garbage, mutated/truncated valid
+    // requests, oversized runs, and pristine requests.
+    std::string stream;
+    const auto segments = static_cast<std::size_t>(sample.uniform_int(1, 8));
+    for (std::size_t s = 0; s < segments; ++s) {
+      switch (sample.uniform_int(0, 4)) {
+        case 0: {  // raw random bytes (newlines included by chance)
+          const auto n = static_cast<std::size_t>(sample.uniform_int(0, 256));
+          for (std::size_t i = 0; i < n; ++i) {
+            stream.push_back(static_cast<char>(sample.uniform_int(0, 255)));
+          }
+          stream.push_back('\n');
+          break;
+        }
+        case 1: {  // a valid request with random byte flips
+          std::string line = valid[static_cast<std::size_t>(
+              sample.uniform_int(0, static_cast<std::int64_t>(valid.size()) - 1))];
+          const auto flips = static_cast<std::size_t>(sample.uniform_int(0, 8));
+          for (std::size_t i = 0; i < flips && !line.empty(); ++i) {
+            const auto at = static_cast<std::size_t>(sample.uniform_int(
+                0, static_cast<std::int64_t>(line.size()) - 1));
+            line[at] = static_cast<char>(sample.uniform_int(1, 255));
+          }
+          if (line.find('\n') != std::string::npos) {
+            line.erase(line.find('\n'));  // keep it one line
+          }
+          stream += line;
+          stream.push_back('\n');
+          break;
+        }
+        case 2: {  // truncated valid request
+          const std::string& line = valid[static_cast<std::size_t>(
+              sample.uniform_int(0, static_cast<std::int64_t>(valid.size()) - 1))];
+          const auto keep = static_cast<std::size_t>(
+              sample.uniform_int(0, static_cast<std::int64_t>(line.size())));
+          stream += line.substr(0, keep);
+          stream.push_back('\n');
+          break;
+        }
+        case 3: {  // oversized line (over the decoder cap)
+          const auto n = kMaxLine + static_cast<std::size_t>(
+                                        sample.uniform_int(1, 4096));
+          stream.append(n, 'x');
+          stream.push_back('\n');
+          break;
+        }
+        default: {  // pristine valid request
+          stream += valid[static_cast<std::size_t>(
+              sample.uniform_int(0, static_cast<std::int64_t>(valid.size()) - 1))];
+          stream.push_back('\n');
+          break;
+        }
+      }
+    }
+
+    // Feed in random fragments, draining after each, like a TCP stream.
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const auto chunk = static_cast<std::size_t>(sample.uniform_int(
+          1, static_cast<std::int64_t>(stream.size() - offset)));
+      decoder.feed(std::string_view(stream).substr(offset, chunk));
+      offset += chunk;
+      if (decoder.buffered() > kMaxLine) {
+        fail("decoder memory exceeded its cap",
+             "buffered " + std::to_string(decoder.buffered()));
+      }
+
+      server::LineDecoder::Line line;
+      while (decoder.next(line)) {
+        ++lines;
+        const server::HandleOutcome outcome =
+            line.oversized ? router.oversized_line() : router.handle(line.text);
+        if (line.oversized) ++oversized;
+
+        // Every reply, for any input, must be one well-formed JSON object
+        // with a bool "ok"; failures must carry a non-empty "error".
+        server::JsonValue reply;
+        std::string parse_error;
+        if (outcome.reply.find('\n') != std::string::npos) {
+          fail("reply contains a newline", outcome.reply);
+        } else if (!server::json_parse(outcome.reply, reply, parse_error)) {
+          fail("reply is not valid JSON: " + parse_error, outcome.reply);
+        } else if (!reply.is_object()) {
+          fail("reply is not a JSON object", outcome.reply);
+        } else {
+          const server::JsonValue* ok = reply.find("ok");
+          if (ok == nullptr || !ok->is_bool()) {
+            fail("reply lacks a bool \"ok\"", outcome.reply);
+          } else if (!ok->as_bool()) {
+            const server::JsonValue* error = reply.find("error");
+            if (error == nullptr || !error->is_string() ||
+                error->as_string().empty()) {
+              fail("failure reply lacks a non-empty \"error\"", outcome.reply);
+            }
+            if (!outcome.error) {
+              fail("ok:false reply not recorded as an error", outcome.reply);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::cout << "rmts_fuzz proto: " << attempts << " streams, " << lines
+            << " lines (" << oversized << " oversized), " << violations
+            << " violations (seed " << seed << ")\n";
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "proto") {
+    const double proto_seconds = argc > 2 ? std::atof(argv[2]) : 10.0;
+    const std::uint64_t proto_seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    return proto_fuzz(proto_seconds, proto_seed) == 0 ? 0 : 1;
+  }
+
   const double seconds = argc > 1 ? std::atof(argv[1]) : 10.0;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
 

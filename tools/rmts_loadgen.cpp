@@ -1,0 +1,117 @@
+// rmts_loadgen: closed-loop load generator for a running rmts_serve.
+//
+//   rmts_loadgen --port N [--host A] [--connections N] [--seconds S]
+//                [--tasks N] [--processors N] [--util U] [--seed N]
+//                [--alg NAME] [--bound NAME]
+//                [--mix admit=1,analyze=0,robustness=0,simulate=0,stats=0]
+//
+// Each connection keeps exactly one request outstanding (closed loop), so
+// the printed qps is the service's throughput at full utilization.  The
+// driver itself lives in src/server/load.hpp and is shared with
+// bench/bench_e18_server_throughput.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "server/load.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --port N [--host A] [--connections N] [--seconds S]"
+               " [--tasks N] [--processors N] [--util U] [--seed N]"
+               " [--alg NAME] [--bound NAME] [--mix admit=1,stats=0,...]\n";
+  std::exit(2);
+}
+
+/// Parses "admit=3,analyze=1,..." into an OpMix (unnamed ops stay 0).
+rmts::server::OpMix parse_mix(const std::string& text, const char* argv0) {
+  rmts::server::OpMix mix{};
+  mix.admit = 0.0;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) usage(argv0);
+    const std::string op = item.substr(0, eq);
+    const double weight = std::atof(item.c_str() + eq + 1);
+    if (op == "admit") {
+      mix.admit = weight;
+    } else if (op == "analyze") {
+      mix.analyze = weight;
+    } else if (op == "robustness") {
+      mix.robustness = weight;
+    } else if (op == "simulate") {
+      mix.simulate = weight;
+    } else if (op == "stats") {
+      mix.stats = weight;
+    } else {
+      usage(argv0);
+    }
+  }
+  return mix;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rmts::server::LoadConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--host") {
+      config.host = next();
+    } else if (flag == "--port") {
+      config.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (flag == "--connections") {
+      config.connections = std::stoul(next());
+    } else if (flag == "--seconds") {
+      config.seconds = std::atof(next().c_str());
+    } else if (flag == "--tasks") {
+      config.tasks = std::stoul(next());
+    } else if (flag == "--processors") {
+      config.processors = std::stoul(next());
+    } else if (flag == "--util") {
+      config.normalized_utilization = std::atof(next().c_str());
+    } else if (flag == "--seed") {
+      config.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--alg") {
+      config.algorithm = next();
+    } else if (flag == "--bound") {
+      config.bound = next();
+    } else if (flag == "--mix") {
+      config.mix = parse_mix(next(), argv[0]);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (config.port == 0) usage(argv[0]);
+
+  try {
+    const rmts::server::LoadReport report = rmts::server::run_load(config);
+    std::cout << "rmts_loadgen: " << report.requests << " requests in "
+              << report.elapsed_seconds << " s over " << config.connections
+              << " connections\n"
+              << "  qps        " << report.qps() << '\n'
+              << "  ok         " << report.ok << " (" << report.accepted
+              << " accepted)\n"
+              << "  shed       " << report.shed << '\n'
+              << "  errors     " << report.errors << " protocol, "
+              << report.transport_errors << " transport\n"
+              << "  latency_us p50<=" << report.percentile_micros(0.50)
+              << " p90<=" << report.percentile_micros(0.90) << " p99<="
+              << report.percentile_micros(0.99) << " max="
+              << report.max_micros << '\n';
+    return report.transport_errors == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "rmts_loadgen: " << e.what() << '\n';
+    return 1;
+  }
+}

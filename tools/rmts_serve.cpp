@@ -1,0 +1,94 @@
+// rmts_serve: the admission-control service daemon.
+//
+//   rmts_serve [--host A] [--port N] [--workers N] [--max-in-flight N]
+//              [--batch-size N] [--max-connections N] [--max-tasks N]
+//              [--drain-timeout-ms N]
+//
+// Binds (port 0 = ephemeral), prints exactly one line
+//   rmts_serve listening on HOST:PORT
+// to stdout once accepting, then runs the event loop until SIGINT or
+// SIGTERM triggers a graceful drain: stop accepting, finish every
+// in-flight request, flush every reply, exit 0.  The wire protocol is
+// documented in src/server/protocol.hpp.
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/server.hpp"
+
+namespace {
+
+rmts::server::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();  // one eventfd write
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--host A] [--port N] [--workers N] [--max-in-flight N]"
+               " [--batch-size N] [--max-connections N] [--max-tasks N]"
+               " [--drain-timeout-ms N]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rmts::server::ServerConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--host") {
+      config.host = next();
+    } else if (flag == "--port") {
+      config.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (flag == "--workers") {
+      config.workers = std::stoul(next());
+    } else if (flag == "--max-in-flight") {
+      config.max_in_flight = std::stoul(next());
+    } else if (flag == "--batch-size") {
+      config.batch_size = std::stoul(next());
+    } else if (flag == "--max-connections") {
+      config.max_connections = std::stoul(next());
+    } else if (flag == "--max-tasks") {
+      config.router.max_tasks = std::stoul(next());
+    } else if (flag == "--drain-timeout-ms") {
+      config.drain_timeout_ms = std::stoi(next());
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    rmts::server::Server server(config);
+    g_server = &server;
+
+    struct sigaction action{};
+    action.sa_handler = handle_stop_signal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+
+    std::cout << "rmts_serve listening on " << config.host << ":"
+              << server.port() << std::endl;  // flush: launchers parse this
+
+    server.run();
+    g_server = nullptr;
+
+    const auto stats = server.runtime_stats();
+    std::cout << "rmts_serve drained: " << server.metrics().total_requests()
+              << " requests, " << stats.connections_accepted
+              << " connections, " << stats.requests_shed << " shed\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "rmts_serve: " << e.what() << '\n';
+    return 1;
+  }
+}
