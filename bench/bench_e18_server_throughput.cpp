@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/trace.hpp"
 #include "server/load.hpp"
 #include "server/server.hpp"
 
@@ -32,11 +33,46 @@ namespace {
 
 using namespace rmts;
 
+/// Per-cell deltas of the stage tracer (zero when tracing is compiled
+/// out): where a request's time went and how the admission cache did.
+struct StageBreakdown {
+  double queue_wait_avg_us{0.0};
+  double compute_avg_us{0.0};
+  double cache_hit_rate{0.0};
+
+  static StageBreakdown between(const trace::Snapshot& before,
+                                const trace::Snapshot& after) {
+    StageBreakdown out;
+    const auto avg_us = [&](trace::Stage stage) {
+      const trace::StageSnapshot& a = after.stage(stage);
+      const trace::StageSnapshot& b = before.stage(stage);
+      const std::uint64_t count = a.count - b.count;
+      if (count == 0) return 0.0;
+      return static_cast<double>(a.total_ns - b.total_ns) /
+             static_cast<double>(count) / 1000.0;
+    };
+    out.queue_wait_avg_us = avg_us(trace::Stage::kServerQueueWait);
+    out.compute_avg_us = avg_us(trace::Stage::kServerCompute);
+    const std::uint64_t hits =
+        after.counter(trace::Counter::kAdmissionCacheHit) -
+        before.counter(trace::Counter::kAdmissionCacheHit);
+    const std::uint64_t misses =
+        after.counter(trace::Counter::kAdmissionCacheMiss) -
+        before.counter(trace::Counter::kAdmissionCacheMiss);
+    if (hits + misses > 0) {
+      out.cache_hit_rate =
+          static_cast<double>(hits) / static_cast<double>(hits + misses);
+    }
+    return out;
+  }
+};
+
 struct Cell {
   std::size_t workers;
   std::size_t connections;
   server::LoadReport load;
   server::RuntimeStats runtime;
+  StageBreakdown stages;
 };
 
 /// Starts a fresh in-process server, drives it for `seconds`, drains it.
@@ -61,8 +97,10 @@ Cell run_cell(std::size_t workers, std::size_t connections, double seconds,
   load.processors = 4;
   load.normalized_utilization = 0.6;
   load.seed = 42;
+  const trace::Snapshot before = trace::snapshot();
   cell.load = server::run_load(load);
   cell.runtime = server.runtime_stats();
+  cell.stages = StageBreakdown::between(before, trace::snapshot());
 
   server.request_stop();
   loop.join();
@@ -99,7 +137,8 @@ int main(int argc, char** argv) {
   // --- Worker scaling, admit-only. --------------------------------------
   server::OpMix admit_only;
   Table workers({"workers", "connections", "cores", "requests", "qps",
-                 "p50 us", "p99 us", "max us", "shed", "errors"});
+                 "p50 us", "p99 us", "max us", "qwait us", "compute us",
+                 "cache hit", "shed", "errors"});
   double qps_w1 = 0.0;
   double qps_w8 = 0.0;
   for (const std::size_t w : worker_sweep) {
@@ -109,9 +148,12 @@ int main(int argc, char** argv) {
     workers.add_row({std::to_string(w), std::to_string(cell.connections),
                      std::to_string(cores), std::to_string(cell.load.requests),
                      Table::num(cell.load.qps(), 0),
-                     std::to_string(cell.load.percentile_micros(0.50)),
-                     std::to_string(cell.load.percentile_micros(0.99)),
-                     std::to_string(cell.load.max_micros),
+                     Table::num(cell.load.percentile_micros(0.50), 1),
+                     Table::num(cell.load.percentile_micros(0.99), 1),
+                     std::to_string(cell.load.max_micros()),
+                     Table::num(cell.stages.queue_wait_avg_us, 1),
+                     Table::num(cell.stages.compute_avg_us, 1),
+                     Table::num(cell.stages.cache_hit_rate, 3),
                      std::to_string(cell.load.shed),
                      std::to_string(cell.load.errors +
                                     cell.load.transport_errors)});
@@ -126,16 +168,18 @@ int main(int argc, char** argv) {
   mixed.simulate = 1.0;
   mixed.stats = 1.0;
   Table conns({"connections", "workers", "requests", "qps", "ok", "p50 us",
-               "p99 us", "max us"});
+               "p99 us", "max us", "qwait us", "compute us"});
   for (const std::size_t c : connection_sweep) {
     const Cell cell = run_cell(0 /* default workers */, c, seconds, mixed);
     conns.add_row({std::to_string(c), std::to_string(cell.runtime.workers),
                    std::to_string(cell.load.requests),
                    Table::num(cell.load.qps(), 0),
                    std::to_string(cell.load.ok),
-                   std::to_string(cell.load.percentile_micros(0.50)),
-                   std::to_string(cell.load.percentile_micros(0.99)),
-                   std::to_string(cell.load.max_micros)});
+                   Table::num(cell.load.percentile_micros(0.50), 1),
+                   Table::num(cell.load.percentile_micros(0.99), 1),
+                   std::to_string(cell.load.max_micros()),
+                   Table::num(cell.stages.queue_wait_avg_us, 1),
+                   Table::num(cell.stages.compute_avg_us, 1)});
   }
   conns.print_text(std::cout, "connection scaling (mixed ops)");
   report.add_table("connection_scaling", conns);

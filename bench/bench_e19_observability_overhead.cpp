@@ -1,0 +1,231 @@
+// E19: observability overhead and accuracy -- the price of the shared
+// instrumentation layer (common/histogram.hpp, common/trace.hpp) and the
+// fidelity of the quantiles it reports.
+//
+// Three measurements:
+//
+//  * primitive cost -- ns/op for Histogram::record, AtomicHistogram::
+//    record, a trace counter increment and a full Span open/close pair
+//    (two steady_clock reads + one histogram record), plus the same
+//    primitives with the runtime kill switch off (trace::set_enabled).
+//  * end-to-end overhead -- admit-only closed-loop qps against a live
+//    in-process server (the E18 cell), tracing enabled vs runtime-
+//    disabled.  Target: <= 3% qps delta with tracing enabled.  Compiling
+//    the layer out (-DRMTS_TRACING=OFF) removes every instruction, so the
+//    compiled-out overhead is structurally 0%; this bench prices the
+//    default-ON configuration.
+//  * quantile accuracy -- interpolated HDR quantiles vs exact sorted-
+//    sample quantiles on a log-normal latency population; the relative
+//    error must stay within the histogram's configured precision
+//    (2^-5 ~ 3.1%), where the old power-of-two buckets were off by up to
+//    ~50% at the bucket edge.
+//
+// `--smoke` shrinks every loop to a ~2s plumbing check for ctest.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/trace.hpp"
+#include "server/load.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace rmts;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+/// Keeps the measured loop from being optimized away.
+volatile std::uint64_t g_sink = 0;
+
+double time_per_op(std::size_t iterations, auto&& body) {
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) body(i);
+  return elapsed_ns(start) / static_cast<double>(iterations);
+}
+
+/// One admit-only closed-loop window against a fresh in-process server;
+/// returns achieved qps.  Mirrors the E18 cell so the two benches price
+/// the same request path.
+double admit_qps(double seconds) {
+  server::ServerConfig config;
+  config.port = 0;
+  config.max_in_flight = 1024;
+  server::Server server(std::move(config));
+  std::thread loop([&server] { server.run(); });
+
+  server::LoadConfig load;
+  load.port = server.port();
+  load.connections = 8;
+  load.seconds = seconds;
+  load.tasks = 16;
+  load.processors = 4;
+  load.normalized_utilization = 0.6;
+  load.seed = 42;
+  const server::LoadReport report = server::run_load(load);
+
+  server.request_stop();
+  loop.join();
+  return report.qps();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t ops = smoke ? 200'000 : 5'000'000;
+  const double seconds = smoke ? 0.3 : 2.0;
+  const std::size_t accuracy_samples = smoke ? 20'000 : 500'000;
+
+  bench::banner(
+      "E19 observability overhead",
+      "stage tracing costs <= 3% admit qps when enabled (0% compiled out) "
+      "and HDR quantiles are within the configured 3.1% of exact",
+      "primitive ns/op loops, E18-style admit cell traced vs runtime-"
+      "disabled, log-normal quantile accuracy N=" +
+          std::to_string(accuracy_samples));
+
+  bench::JsonReport report(
+      "e19",
+      "observability layer cost: instrumentation primitive ns/op, end-to-"
+      "end admit qps with tracing enabled vs runtime-disabled (compiled-"
+      "out removes every instruction), and HDR quantile accuracy vs exact "
+      "sorted-sample quantiles");
+
+  // --- Primitive cost. ----------------------------------------------------
+  Table prim({"primitive", "ns/op", "tracing"});
+  {
+    Histogram h;
+    prim.add_row({"Histogram::record",
+                  Table::num(time_per_op(ops, [&](std::size_t i) {
+                    h.record(i & 0xFFFF);
+                  }), 1),
+                  "n/a"});
+    g_sink = h.count();
+  }
+  {
+    AtomicHistogram h;
+    prim.add_row({"AtomicHistogram::record",
+                  Table::num(time_per_op(ops, [&](std::size_t i) {
+                    h.record(i & 0xFFFF);
+                  }), 1),
+                  "n/a"});
+    g_sink = h.max();
+  }
+  for (const bool enabled : {true, false}) {
+    trace::set_enabled(enabled);
+    const char* state = enabled ? "on" : "off";
+    prim.add_row({"trace::count",
+                  Table::num(time_per_op(ops, [](std::size_t) {
+                    trace::count(trace::Counter::kSimEvents);
+                  }), 1),
+                  state});
+    prim.add_row({"trace::Span open+close",
+                  Table::num(time_per_op(ops, [](std::size_t) {
+                    const trace::Span span(trace::Stage::kSimRun);
+                  }), 1),
+                  state});
+  }
+  trace::set_enabled(true);
+  prim.print_text(std::cout, "instrumentation primitives");
+  report.add_table("primitives", prim);
+
+  // --- End-to-end overhead. -----------------------------------------------
+  // Machine-level drift (scheduler, thermal, page cache) on a shared box
+  // swamps a few-percent signal, so each round measures BOTH arms
+  // back-to-back (alternating which goes first) and the overhead is the
+  // median of the per-round paired ratios -- drift common to a round
+  // cancels, and the median rejects a single disturbed round.
+  double qps_on = 0.0;
+  double qps_off = 0.0;
+  std::vector<double> ratios;
+  const int rounds = smoke ? 1 : 5;
+  for (int r = 0; r < rounds; ++r) {
+    double round_on = 0.0;
+    double round_off = 0.0;
+    const bool on_first = r % 2 == 0;
+    for (int arm = 0; arm < 2; ++arm) {
+      const bool traced = arm == 0 ? on_first : !on_first;
+      trace::set_enabled(traced);
+      (traced ? round_on : round_off) = admit_qps(seconds);
+    }
+    qps_on = std::max(qps_on, round_on);
+    qps_off = std::max(qps_off, round_off);
+    if (round_off > 0.0) ratios.push_back(round_on / round_off);
+  }
+  trace::set_enabled(true);
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio =
+      ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+  const double overhead_pct = (1.0 - median_ratio) * 100.0;
+  Table e2e({"tracing", "admit qps", "overhead %"});
+  e2e.add_row({"runtime-disabled", Table::num(qps_off, 0), "0.0"});
+  e2e.add_row({"enabled", Table::num(qps_on, 0), Table::num(overhead_pct, 2)});
+  e2e.add_row({"compiled out (-DRMTS_TRACING=OFF)", "-", "0 (no code emitted)"});
+  e2e.print_text(std::cout, "end-to-end admit throughput");
+  report.add_table("end_to_end", e2e);
+
+  // --- Quantile accuracy. -------------------------------------------------
+  Table acc({"quantile", "exact us", "histogram us", "rel err %", "budget %"});
+  {
+    Rng rng(7);
+    std::vector<std::uint64_t> samples;
+    samples.reserve(accuracy_samples);
+    Histogram h;
+    for (std::size_t i = 0; i < accuracy_samples; ++i) {
+      // Log-normal latency population spanning ~3 decades (Box-Muller;
+      // Rng only provides uniforms).
+      const double u1 = std::max(rng.uniform(), 1e-12);
+      const double u2 = rng.uniform();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      const auto v =
+          static_cast<std::uint64_t>(std::llround(200.0 * std::exp(0.9 * z)));
+      samples.push_back(v);
+      h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    double worst = 0.0;
+    for (const double p : {0.50, 0.90, 0.99, 0.999}) {
+      const std::size_t rank = static_cast<std::size_t>(
+          std::ceil(p * static_cast<double>(samples.size())));
+      const auto exact = static_cast<double>(samples[rank > 0 ? rank - 1 : 0]);
+      const double approx = h.quantile(p);
+      const double err =
+          exact > 0.0 ? std::abs(approx - exact) / exact * 100.0 : 0.0;
+      worst = std::max(worst, err);
+      acc.add_row({Table::num(p, 3), Table::num(exact, 0),
+                   Table::num(approx, 1), Table::num(err, 3),
+                   Table::num(h.precision() * 100.0, 1)});
+    }
+    acc.print_text(std::cout, "HDR quantile accuracy (log-normal)");
+    report.add_table("accuracy", acc);
+    std::cout << (worst <= h.precision() * 100.0 ? "ACCURACY MET"
+                                                 : "ACCURACY MISSED")
+              << ": worst relative error " << Table::num(worst, 3)
+              << "% (budget " << Table::num(h.precision() * 100.0, 1)
+              << "%)\n";
+  }
+
+  report.write();
+
+  if (!smoke) {
+    const bool met = overhead_pct <= 3.0;
+    std::cout << (met ? "TARGET MET" : "TARGET MISSED")
+              << ": tracing-enabled overhead " << Table::num(overhead_pct, 2)
+              << "% of admit qps (target <= 3%)\n";
+  }
+  return 0;
+}

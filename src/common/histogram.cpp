@@ -1,0 +1,122 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rmts {
+
+Histogram::Histogram(unsigned sub_bits) : sub_bits_(sub_bits) {
+  if (sub_bits < HistogramLayout::kMinSubBits ||
+      sub_bits > HistogramLayout::kMaxSubBits) {
+    throw InvalidConfigError("Histogram: sub_bits must be in [1, 8], got " +
+                             std::to_string(sub_bits));
+  }
+  counts_.assign(HistogramLayout::bucket_count(sub_bits), 0);
+}
+
+void Histogram::record(std::uint64_t value, std::uint64_t weight) noexcept {
+  if (weight == 0) return;
+  counts_[HistogramLayout::bucket_index(value, sub_bits_)] += weight;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += weight;
+  sum_ += value * weight;
+}
+
+double Histogram::quantile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min());
+  if (p >= 1.0) return static_cast<double>(max_);
+  // Nearest-rank: the k-th smallest recorded value, k = ceil(p * count).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    if (cumulative + counts_[b] < rank) {
+      cumulative += counts_[b];
+      continue;
+    }
+    const auto lower = static_cast<double>(
+        HistogramLayout::bucket_lower(b, sub_bits_));
+    const auto upper = static_cast<double>(
+        HistogramLayout::bucket_upper(b, sub_bits_));
+    // Midpoint-rule interpolation of the k-th of `counts_[b]` values
+    // assumed uniform inside the bucket; exact for unit-width buckets.
+    const double position =
+        (static_cast<double>(rank - cumulative) - 0.5) /
+        static_cast<double>(counts_[b]);
+    const double estimate = lower + (upper - lower) * position;
+    // The exact extrema are known; never report beyond them.
+    return std::clamp(estimate, static_cast<double>(min()),
+                      static_cast<double>(max_));
+  }
+  return static_cast<double>(max_);  // unreachable: ranks <= count_
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.sub_bits_ != sub_bits_) {
+    throw InvalidConfigError(
+        "Histogram::merge: precision mismatch (sub_bits " +
+        std::to_string(sub_bits_) + " vs " + std::to_string(other.sub_bits_) +
+        ")");
+  }
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    cumulative += counts_[b];
+    out.push_back(Bucket{HistogramLayout::bucket_upper(b, sub_bits_),
+                         counts_[b], cumulative});
+  }
+  return out;
+}
+
+Histogram AtomicHistogram::snapshot() const {
+  Histogram out(kSubBits);
+  std::uint64_t total = 0;
+  std::uint64_t weighted_min = 0;
+  std::uint64_t weighted_max = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = counts_[b].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.counts_[b] = n;
+    if (total == 0) weighted_min = HistogramLayout::bucket_lower(b, kSubBits);
+    weighted_max = HistogramLayout::bucket_upper(b, kSubBits);
+    total += n;
+  }
+  out.count_ = total;
+  if (total == 0) return out;
+  out.sum_ = sum_.load(std::memory_order_relaxed);
+  // Prefer the exact CAS-kept extrema, falling back to bucket bounds if a
+  // record() raced between the bucket and extremum updates.
+  const std::uint64_t exact_min = min_.load(std::memory_order_relaxed);
+  const std::uint64_t exact_max = max_.load(std::memory_order_relaxed);
+  out.min_ = exact_min == ~std::uint64_t{0} ? weighted_min : exact_min;
+  out.max_ = exact_max == 0 ? weighted_max : exact_max;
+  return out;
+}
+
+}  // namespace rmts

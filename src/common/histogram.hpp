@@ -1,0 +1,219 @@
+// Log-linear HDR histogram: the one latency/value sketch shared by the
+// server metrics, the load driver, the stage tracer and the benches.
+//
+// Design (the classic HdrHistogram bucketing, specialised to uint64):
+// values below S = 2^sub_bits land in exact unit-width buckets; above
+// that, every power-of-two octave [2^e, 2^(e+1)) is divided into S equal
+// sub-buckets of width 2^(e - sub_bits).  Bucket width therefore never
+// exceeds value / 2^sub_bits, so any quantile read back from the sketch
+// is within a configurable relative precision (sub_bits = 5 -> 1/32 ~
+// 3.1%) of the true sample quantile -- unlike the old per-subsystem
+// power-of-two buckets, whose "p50 = 2047 us" was a bucket edge, not a
+// measurement.
+//
+// record() is O(1) (a bit_width, two shifts, one increment).  Merging two
+// histograms of equal precision is exact: bucket counts, count, sum, min
+// and max all add, so per-connection / per-shard / per-thread instances
+// aggregate without losing anything -- the mergeability ROADMAP item 1
+// requires before shard-scaling numbers can be trusted.
+//
+// Two flavours:
+//  * Histogram       -- plain counters; single writer, arbitrary readers
+//                       after the writes are done.  Used by the load
+//                       driver (per-connection, merged at the end) and by
+//                       snapshots.
+//  * AtomicHistogram -- relaxed-atomic counters with a CAS min/max loop;
+//                       any number of concurrent writers (server request
+//                       paths, trace stages).  snapshot() extracts a
+//                       plain Histogram to query.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace rmts {
+
+/// Bucket geometry shared by both flavours.  `sub_bits` in [1, 8] sets the
+/// precision: relative bucket width (and thus worst-case quantile error)
+/// is 2^-sub_bits.
+struct HistogramLayout {
+  static constexpr unsigned kDefaultSubBits = 5;  // 1/32 ~ 3.1% precision
+  static constexpr unsigned kMinSubBits = 1;
+  static constexpr unsigned kMaxSubBits = 8;
+
+  /// Buckets needed to cover the full uint64 range at this precision.
+  [[nodiscard]] static constexpr std::size_t bucket_count(
+      unsigned sub_bits) noexcept {
+    // Indices run to (64 - sub_bits) * S + (S - 1); see bucket_index.
+    return (std::size_t{65} - sub_bits) << sub_bits;
+  }
+
+  /// O(1) value -> bucket index.  Monotone non-decreasing in `value`.
+  [[nodiscard]] static constexpr std::size_t bucket_index(
+      std::uint64_t value, unsigned sub_bits) noexcept {
+    const std::uint64_t sub_count = std::uint64_t{1} << sub_bits;
+    if (value < sub_count) return static_cast<std::size_t>(value);
+    const unsigned exponent =
+        static_cast<unsigned>(std::bit_width(value)) - 1;  // >= sub_bits
+    const unsigned shift = exponent - sub_bits;
+    return static_cast<std::size_t>(
+        (std::uint64_t{exponent - sub_bits + 1} << sub_bits) +
+        ((value >> shift) - sub_count));
+  }
+
+  /// Smallest value mapping to `index` (inclusive).
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(
+      std::size_t index, unsigned sub_bits) noexcept {
+    const std::size_t sub_count = std::size_t{1} << sub_bits;
+    if (index < sub_count) return index;
+    const unsigned shift = static_cast<unsigned>(index >> sub_bits) - 1;
+    return (std::uint64_t{sub_count} + (index & (sub_count - 1))) << shift;
+  }
+
+  /// Largest value mapping to `index` (inclusive).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(
+      std::size_t index, unsigned sub_bits) noexcept {
+    const std::size_t sub_count = std::size_t{1} << sub_bits;
+    if (index < sub_count) return index;
+    const unsigned shift = static_cast<unsigned>(index >> sub_bits) - 1;
+    return bucket_lower(index, sub_bits) + ((std::uint64_t{1} << shift) - 1);
+  }
+};
+
+/// Plain (non-atomic) log-linear histogram.
+class Histogram {
+ public:
+  /// Default precision (2^-5); non-explicit so histogram-bearing structs
+  /// stay brace-initializable.
+  Histogram() : Histogram(HistogramLayout::kDefaultSubBits) {}
+  /// Throws InvalidConfigError for sub_bits outside [1, 8].
+  explicit Histogram(unsigned sub_bits);
+
+  void record(std::uint64_t value) noexcept { record(value, 1); }
+  void record(std::uint64_t value, std::uint64_t weight) noexcept;
+
+  [[nodiscard]] unsigned sub_bits() const noexcept { return sub_bits_; }
+  /// Worst-case relative quantile error: 2^-sub_bits.
+  [[nodiscard]] double precision() const noexcept {
+    return 1.0 / static_cast<double>(std::uint64_t{1} << sub_bits_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Exact recorded extrema and total; 0 when empty.
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Interpolated nearest-rank quantile for p in [0, 1]: locates the
+  /// bucket holding rank ceil(p * count) and interpolates linearly inside
+  /// it, clamped to the exact [min, max].  The true sample quantile lies
+  /// in the same bucket, so the relative error is at most precision().
+  /// Returns 0 when empty.
+  [[nodiscard]] double quantile(double p) const noexcept;
+
+  /// Exact merge: counts, sum and extrema add as if every value had been
+  /// recorded here.  Throws InvalidConfigError on precision mismatch.
+  void merge(const Histogram& other);
+
+  void clear() noexcept;
+
+  /// One non-empty bucket, for exposition (`upper` is the inclusive
+  /// upper bound; `cumulative` counts records <= upper).
+  struct Bucket {
+    std::uint64_t upper{0};
+    std::uint64_t count{0};
+    std::uint64_t cumulative{0};
+  };
+  /// Non-empty buckets in increasing value order.
+  [[nodiscard]] std::vector<Bucket> nonzero_buckets() const;
+
+  /// Raw bucket counts (layout per HistogramLayout); for tests and merge.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  friend class AtomicHistogram;
+
+  unsigned sub_bits_;
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{0};
+  std::uint64_t max_{0};
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Concurrent log-linear histogram: O(1) relaxed record from any number
+/// of threads, with exact min/max kept by a compare-exchange loop (a
+/// relaxed store would lose the true extremum under contention).
+/// Precision is fixed at the default so instances stay mergeable with
+/// every snapshot in the process.
+class AtomicHistogram {
+ public:
+  static constexpr unsigned kSubBits = HistogramLayout::kDefaultSubBits;
+  static constexpr std::size_t kBuckets =
+      HistogramLayout::bucket_count(kSubBits);
+
+  AtomicHistogram() noexcept = default;
+
+  void record(std::uint64_t value) noexcept {
+    counts_[HistogramLayout::bucket_index(value, kSubBits)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    // CAS max: retry while somebody else published a smaller-but-newer
+    // value; the loop exits as soon as `seen >= value`.
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+    seen = min_.load(std::memory_order_relaxed);
+    while (value < seen && !min_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Record for the one-writer-many-readers case (per-thread trace
+  /// states): plain load+store increments compile to ordinary adds and a
+  /// branch, no lock-prefixed RMW and no CAS loop -- roughly 4x cheaper
+  /// than record().  NOT safe with concurrent writers.
+  void record_single_writer(std::uint64_t value) noexcept {
+    auto& bucket = counts_[HistogramLayout::bucket_index(value, kSubBits)];
+    bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    sum_.store(sum_.load(std::memory_order_relaxed) + value,
+               std::memory_order_relaxed);
+    if (value > max_.load(std::memory_order_relaxed)) {
+      max_.store(value, std::memory_order_relaxed);
+    }
+    if (value < min_.load(std::memory_order_relaxed)) {
+      min_.store(value, std::memory_order_relaxed);
+    }
+  }
+
+  /// Plain-histogram copy for querying.  Taken with relaxed loads while
+  /// writers proceed: a snapshot may trail concurrent records by a few
+  /// counts but is internally consistent enough for observability (count
+  /// is derived from the copied buckets).
+  [[nodiscard]] Histogram snapshot() const;
+
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace rmts

@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/trace.hpp"
+
 namespace rmts {
 
 namespace {
@@ -75,10 +77,18 @@ void ThreadPool::worker_loop() {
   while (true) {
     wake_.wait(lock, [&] { return stop_ || !queue_.empty(); });
     if (stop_) return;
-    auto task = std::move(queue_.front());
+    QueuedTask item = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    task();
+    if (item.enqueued_ns != 0) {
+      trace::count(trace::Counter::kPoolTasksStarted);
+      trace::record_ns(trace::Stage::kPoolTaskWait,
+                       trace::now_ns() - item.enqueued_ns);
+      const trace::Span span(trace::Stage::kPoolTaskRun);
+      item.task();
+    } else {
+      item.task();
+    }
     lock.lock();
   }
 }
@@ -89,8 +99,10 @@ void ThreadPool::post(std::function<void()> task) {
   }
   {
     const std::scoped_lock lock(mutex_);
-    queue_.emplace_back(std::move(task));
+    queue_.push_back(QueuedTask{
+        std::move(task), trace::enabled() ? trace::now_ns() : 0});
   }
+  trace::count(trace::Counter::kPoolTasksPosted);
   wake_.notify_one();
 }
 
@@ -115,11 +127,11 @@ void ThreadPool::run(std::size_t count, std::size_t parallelism,
   {
     const std::scoped_lock lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
-      queue_.emplace_back([job] {
+      queue_.push_back(QueuedTask{[job] {
         job->work();
         const std::scoped_lock job_lock(job->mutex);
         if (--job->pending_helpers == 0) job->done.notify_one();
-      });
+      }, 0});
     }
   }
   wake_.notify_all();

@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -59,12 +60,20 @@ class ThreadPool {
   void post(std::function<void()> task);
 
  private:
+  /// Queued work plus its post() timestamp (trace::now_ns()); 0 marks the
+  /// untimed helper jobs run() enqueues for itself, which are excluded
+  /// from the pool_task_wait / queue-depth instrumentation.
+  struct QueuedTask {
+    std::function<void()> task;
+    std::uint64_t enqueued_ns{0};
+  };
+
   void worker_loop();
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stop_{false};
 };
 

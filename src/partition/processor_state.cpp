@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/trace.hpp"
+
 namespace rmts {
 
 namespace {
@@ -66,13 +68,19 @@ ProcessorState::Cache& ProcessorState::materialize_cache() const {
 
 void ProcessorState::ensure_response(std::size_t index) const {
   Cache& cache = materialize_cache();
-  if (cache.response_valid[index]) return;
+  if (cache.response_valid[index]) {
+    trace::count(trace::Counter::kAdmissionCacheHit);
+    return;
+  }
+  trace::count(trace::Counter::kAdmissionCacheMiss);
   // A stale miss stays a miss: interference only grew since it was found.
   if (cache.response[index] != kTimeInfinity) {
     const auto hp = std::span<const Subtask>(subtasks_).first(index);
     const RtaOutcome outcome =
         response_time_seeded(subtasks_[index].wcet, subtasks_[index].deadline,
                              hp, cache.response[index]);
+    trace::count(trace::Counter::kAdmissionRtaIterations,
+                 static_cast<std::uint64_t>(outcome.iterations));
     cache.response[index] = outcome.schedulable ? outcome.response : kTimeInfinity;
   }
   cache.response_valid[index] = 1;
@@ -83,9 +91,24 @@ bool ProcessorState::fits(const Subtask& candidate) const {
   const std::size_t pos = insert_position(subtasks_, candidate);
   const auto all = std::span<const Subtask>(subtasks_);
 
+  // Counter deltas are accumulated locally and flushed once on exit --
+  // fits() runs O(N x M) times per partitioning, so per-subtask
+  // trace::count calls would dominate the instrumentation budget.
+  std::uint64_t iterations = 0;
+  std::uint64_t seeded_calls = 0;
+  const auto flush = [&]() noexcept {
+    trace::count(trace::Counter::kAdmissionRtaIterations, iterations);
+    if (seeded_calls != 0) {
+      trace::count(trace::Counter::kAdmissionSeededRta, seeded_calls);
+    }
+  };
+
   // The candidate itself, interfered by the higher-priority prefix.
-  if (!response_time(candidate.wcet, candidate.deadline, all.first(pos))
-           .schedulable) {
+  const RtaOutcome own =
+      response_time(candidate.wcet, candidate.deadline, all.first(pos));
+  iterations += static_cast<std::uint64_t>(own.iterations);
+  if (!own.schedulable) {
+    flush();
     return false;
   }
 
@@ -97,13 +120,21 @@ bool ProcessorState::fits(const Subtask& candidate) const {
   // partitioning loops every add() invalidates the suffix again before the
   // warm value could be reused.
   for (std::size_t i = pos; i < subtasks_.size(); ++i) {
-    if (cache.response[i] == kTimeInfinity) return false;  // miss stays a miss
-    if (!response_time_with(subtasks_[i].wcet, subtasks_[i].deadline,
-                            all.first(i), candidate, cache.response[i])
-             .schedulable) {
+    if (cache.response[i] == kTimeInfinity) {  // miss stays a miss
+      flush();
+      return false;
+    }
+    ++seeded_calls;
+    const RtaOutcome seeded =
+        response_time_with(subtasks_[i].wcet, subtasks_[i].deadline,
+                           all.first(i), candidate, cache.response[i]);
+    iterations += static_cast<std::uint64_t>(seeded.iterations);
+    if (!seeded.schedulable) {
+      flush();
       return false;
     }
   }
+  flush();
   return true;
 }
 

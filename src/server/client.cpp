@@ -213,4 +213,17 @@ std::string make_stats_request(std::int64_t id) {
   return w.str();
 }
 
+std::string make_metrics_request(std::int64_t id) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("op");
+  w.value("metrics");
+  if (id >= 0) {
+    w.key("id");
+    w.value(id);
+  }
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace rmts::server

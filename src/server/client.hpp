@@ -77,5 +77,6 @@ class Client {
     std::size_t processors, const TaskSet& tasks, std::string_view alg = {},
     std::string_view bound = {}, std::int64_t id = -1);
 [[nodiscard]] std::string make_stats_request(std::int64_t id = -1);
+[[nodiscard]] std::string make_metrics_request(std::int64_t id = -1);
 
 }  // namespace rmts::server

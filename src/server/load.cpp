@@ -1,6 +1,5 @@
 #include "server/load.hpp"
 
-#include <bit>
 #include <chrono>
 #include <mutex>
 #include <thread>
@@ -16,15 +15,10 @@ namespace rmts::server {
 
 namespace {
 
-std::size_t bucket_of(std::uint64_t micros) noexcept {
-  if (micros < 2) return 0;
-  const auto log2 = static_cast<std::size_t>(std::bit_width(micros) - 1);
-  return log2 < LoadReport::kBuckets ? log2 : LoadReport::kBuckets - 1;
-}
-
 /// One op's pre-encoded request strings (one per pooled task set; stats
 /// needs only one but keeps the same shape for uniform indexing).
 struct OpRequests {
+  OpClass cls{OpClass::kAdmit};
   double weight{0.0};
   std::vector<std::string> lines;
 };
@@ -48,32 +42,31 @@ void classify(const std::string& reply, LoadReport& report) {
 
 }  // namespace
 
-std::uint64_t LoadReport::percentile_micros(double p) const noexcept {
-  std::uint64_t total = 0;
-  for (const std::uint64_t count : histogram) total += count;
-  if (total == 0) return 0;
-  const auto rank =
-      static_cast<std::uint64_t>(p * static_cast<double>(total - 1)) + 1;
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += histogram[b];
-    if (seen >= rank) return (std::uint64_t{1} << (b + 1)) - 1;
+std::string_view op_class_name(OpClass op) noexcept {
+  switch (op) {
+    case OpClass::kAdmit: return "admit";
+    case OpClass::kAnalyze: return "analyze";
+    case OpClass::kRobustness: return "robustness";
+    case OpClass::kSimulate: return "simulate";
+    case OpClass::kStats: return "stats";
   }
-  return max_micros;
+  return "unknown";
 }
 
-void LoadReport::merge(const LoadReport& other) noexcept {
+void LoadReport::merge(const LoadReport& other) {
   requests += other.requests;
   ok += other.ok;
   accepted += other.accepted;
   shed += other.shed;
   errors += other.errors;
   transport_errors += other.transport_errors;
-  if (other.max_micros > max_micros) max_micros = other.max_micros;
   if (other.elapsed_seconds > elapsed_seconds) {
     elapsed_seconds = other.elapsed_seconds;
   }
-  for (std::size_t b = 0; b < kBuckets; ++b) histogram[b] += other.histogram[b];
+  latency_us.merge(other.latency_us);
+  for (std::size_t op = 0; op < kOpClassCount; ++op) {
+    per_op_latency_us[op].merge(other.per_op_latency_us[op]);
+  }
 }
 
 LoadReport run_load(const LoadConfig& config) {
@@ -105,31 +98,33 @@ LoadReport run_load(const LoadConfig& config) {
   }
 
   std::vector<OpRequests> ops;
-  const auto add_op = [&](double weight, auto&& encode) {
+  const auto add_op = [&](OpClass cls, double weight, auto&& encode) {
     if (weight <= 0.0) return;
     OpRequests op;
+    op.cls = cls;
     op.weight = weight;
     op.lines.reserve(pool.size());
     for (const TaskSet& tasks : pool) op.lines.push_back(encode(tasks));
     ops.push_back(std::move(op));
   };
-  add_op(config.mix.admit, [&](const TaskSet& tasks) {
+  add_op(OpClass::kAdmit, config.mix.admit, [&](const TaskSet& tasks) {
     return make_admit_request(config.processors, tasks, config.algorithm,
                               config.bound);
   });
-  add_op(config.mix.analyze, [&](const TaskSet& tasks) {
+  add_op(OpClass::kAnalyze, config.mix.analyze, [&](const TaskSet& tasks) {
     return make_analyze_request(config.processors, tasks, config.algorithm,
                                 config.bound);
   });
-  add_op(config.mix.robustness, [&](const TaskSet& tasks) {
+  add_op(OpClass::kRobustness, config.mix.robustness,
+         [&](const TaskSet& tasks) {
     return make_robustness_request(config.processors, tasks, config.algorithm,
                                    config.bound);
   });
-  add_op(config.mix.simulate, [&](const TaskSet& tasks) {
+  add_op(OpClass::kSimulate, config.mix.simulate, [&](const TaskSet& tasks) {
     return make_simulate_request(config.processors, tasks, config.algorithm,
                                  config.bound);
   });
-  add_op(config.mix.stats,
+  add_op(OpClass::kStats, config.mix.stats,
          [&](const TaskSet&) { return make_stats_request(); });
   if (ops.empty()) {
     throw InvalidConfigError("run_load: the op mix is empty");
@@ -177,8 +172,9 @@ LoadReport run_load(const LoadConfig& config) {
 
           ++local.requests;
           classify(reply, local);
-          ++local.histogram[bucket_of(micros)];
-          if (micros > local.max_micros) local.max_micros = micros;
+          local.latency_us.record(micros);
+          local.per_op_latency_us[static_cast<std::size_t>(op.cls)].record(
+              micros);
         }
       } catch (const TransportError& e) {
         ++local.transport_errors;

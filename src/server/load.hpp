@@ -14,8 +14,24 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+#include "common/histogram.hpp"
 
 namespace rmts::server {
+
+/// Operation classes of the generated mix, used to key per-op latency
+/// reporting in LoadReport.
+enum class OpClass : std::uint8_t {
+  kAdmit,
+  kAnalyze,
+  kRobustness,
+  kSimulate,
+  kStats,
+};
+inline constexpr std::size_t kOpClassCount = 5;
+
+[[nodiscard]] std::string_view op_class_name(OpClass op) noexcept;
 
 /// Relative frequencies of the operations in the generated mix; zero
 /// disables an op.  The default is the pure-admit mix E18 sweeps.
@@ -51,8 +67,6 @@ struct LoadConfig {
 /// other ok:false reply; transport errors abort the connection's loop and
 /// are reported separately.
 struct LoadReport {
-  static constexpr std::size_t kBuckets = 32;
-
   std::uint64_t requests{0};
   std::uint64_t ok{0};
   std::uint64_t accepted{0};  ///< admit/robustness replies with accepted:true
@@ -60,9 +74,10 @@ struct LoadReport {
   std::uint64_t errors{0};
   std::uint64_t transport_errors{0};
   double elapsed_seconds{0.0};
-  std::uint64_t max_micros{0};
-  /// Bucket b counts replies with latency in [2^b, 2^(b+1)) us.
-  std::array<std::uint64_t, kBuckets> histogram{};
+  /// HDR latency sketch over every reply (default precision, 2^-5).
+  Histogram latency_us;
+  /// Same, split by operation class (empty for ops not in the mix).
+  std::array<Histogram, kOpClassCount> per_op_latency_us{};
 
   [[nodiscard]] double qps() const noexcept {
     return elapsed_seconds > 0.0
@@ -70,11 +85,18 @@ struct LoadReport {
                : 0.0;
   }
 
-  /// Upper edge of the bucket holding the p-quantile reply (p in [0,1]).
-  [[nodiscard]] std::uint64_t percentile_micros(double p) const noexcept;
+  [[nodiscard]] std::uint64_t max_micros() const noexcept {
+    return latency_us.max();
+  }
 
-  /// Accumulates another (per-connection) report.
-  void merge(const LoadReport& other) noexcept;
+  /// Interpolated quantile over all replies (p in [0, 1]); relative error
+  /// at most latency_us.precision().  0 when nothing was recorded.
+  [[nodiscard]] double percentile_micros(double p) const noexcept {
+    return latency_us.quantile(p);
+  }
+
+  /// Accumulates another (per-connection) report; exact on histograms.
+  void merge(const LoadReport& other);
 };
 
 /// Runs the closed loop until `seconds` elapse; blocks until every

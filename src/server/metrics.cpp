@@ -1,7 +1,5 @@
 #include "server/metrics.hpp"
 
-#include <bit>
-
 namespace rmts::server {
 
 std::string_view endpoint_name(Endpoint endpoint) noexcept {
@@ -11,63 +9,32 @@ std::string_view endpoint_name(Endpoint endpoint) noexcept {
     case Endpoint::kRobustness: return "robustness";
     case Endpoint::kSimulate: return "simulate";
     case Endpoint::kStats: return "stats";
+    case Endpoint::kMetrics: return "metrics";
     case Endpoint::kMalformed: return "malformed";
   }
   return "unknown";
 }
-
-namespace {
-
-/// Bucket b holds latencies in [2^b, 2^(b+1)) us; bucket 0 holds [0, 2).
-std::size_t bucket_of(std::uint64_t micros) noexcept {
-  if (micros < 2) return 0;
-  const auto log2 = static_cast<std::size_t>(std::bit_width(micros) - 1);
-  return log2 < Metrics::kBuckets ? log2 : Metrics::kBuckets - 1;
-}
-
-}  // namespace
 
 void Metrics::record(Endpoint endpoint, bool error,
                      std::uint64_t micros) noexcept {
   PerEndpoint& e = endpoints_[static_cast<std::size_t>(endpoint)];
   e.requests.fetch_add(1, std::memory_order_relaxed);
   if (error) e.errors.fetch_add(1, std::memory_order_relaxed);
-  e.histogram[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
-  std::uint64_t seen = e.max_micros.load(std::memory_order_relaxed);
-  while (micros > seen &&
-         !e.max_micros.compare_exchange_weak(seen, micros,
-                                             std::memory_order_relaxed)) {
-  }
+  e.latency_us.record(micros);
 }
 
-Metrics::EndpointSnapshot Metrics::snapshot(Endpoint endpoint) const noexcept {
+Metrics::EndpointSnapshot Metrics::snapshot(Endpoint endpoint) const {
   const PerEndpoint& e = endpoints_[static_cast<std::size_t>(endpoint)];
   EndpointSnapshot out;
   out.requests = e.requests.load(std::memory_order_relaxed);
   out.errors = e.errors.load(std::memory_order_relaxed);
-  out.max_micros = e.max_micros.load(std::memory_order_relaxed);
-
-  std::array<std::uint64_t, kBuckets> counts{};
-  std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    counts[b] = e.histogram[b].load(std::memory_order_relaxed);
-    total += counts[b];
-  }
-  if (total == 0) return out;
-
-  const auto percentile = [&](double p) -> std::uint64_t {
-    const auto rank =
-        static_cast<std::uint64_t>(p * static_cast<double>(total - 1)) + 1;
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-      seen += counts[b];
-      if (seen >= rank) return (std::uint64_t{1} << (b + 1)) - 1;
-    }
-    return out.max_micros;
-  };
-  out.p50_micros = percentile(0.50);
-  out.p90_micros = percentile(0.90);
-  out.p99_micros = percentile(0.99);
+  out.latency_us = e.latency_us.snapshot();
+  if (out.latency_us.count() == 0) return out;
+  out.max_micros = out.latency_us.max();
+  out.p50_micros = out.latency_us.quantile(0.50);
+  out.p90_micros = out.latency_us.quantile(0.90);
+  out.p99_micros = out.latency_us.quantile(0.99);
+  out.mean_micros = out.latency_us.mean();
   return out;
 }
 

@@ -1,18 +1,24 @@
-// Per-endpoint service metrics: request/error counters and a lock-free
-// log2 latency histogram, surfaced by the `stats` endpoint.
+// Per-endpoint service metrics: request/error counters and a concurrent
+// log-linear HDR latency histogram (common/histogram.hpp), surfaced by
+// the `stats` endpoint (interpolated quantiles) and the `metrics`
+// endpoint (Prometheus-style exposition).
 //
 // record() is called from pool workers on every handled request; all
 // counters are relaxed atomics (stats is an observability endpoint, not a
 // synchronization point -- a snapshot may be mid-update by a few counts).
-// Latency buckets are powers of two in microseconds, so percentiles are
-// exact to within 2x, which is plenty to distinguish a 50 us admit cache
-// hit from a 50 ms robustness bisection.
+// The histogram's relative bucket width is 2^-5 ~ 3.1%, so reported
+// percentiles are true interpolated quantiles rather than the old
+// power-of-two bucket edges, and max_micros is exact (CAS max loop inside
+// AtomicHistogram -- a relaxed store could lose the true max under
+// contention).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <string_view>
+
+#include "common/histogram.hpp"
 
 namespace rmts::server {
 
@@ -24,32 +30,34 @@ enum class Endpoint : std::uint8_t {
   kRobustness,
   kSimulate,
   kStats,
+  kMetrics,
   kMalformed,
 };
-inline constexpr std::size_t kEndpointCount = 6;
+inline constexpr std::size_t kEndpointCount = 7;
 
 [[nodiscard]] std::string_view endpoint_name(Endpoint endpoint) noexcept;
 
 class Metrics {
  public:
-  static constexpr std::size_t kBuckets = 32;
-
   /// Records one handled request: outcome and end-to-end latency (queue
-  /// wait + compute) in microseconds.  Thread-safe.
+  /// wait + compute) in microseconds.  Thread-safe, O(1).
   void record(Endpoint endpoint, bool error, std::uint64_t micros) noexcept;
 
   struct EndpointSnapshot {
     std::uint64_t requests{0};
     std::uint64_t errors{0};
     std::uint64_t max_micros{0};
-    /// Approximate percentiles from the log2 histogram (upper bucket
-    /// bounds); 0 when no request was recorded.
-    std::uint64_t p50_micros{0};
-    std::uint64_t p90_micros{0};
-    std::uint64_t p99_micros{0};
+    /// Interpolated HDR quantiles (error <= latency_us.precision());
+    /// 0 when no request was recorded.
+    double p50_micros{0.0};
+    double p90_micros{0.0};
+    double p99_micros{0.0};
+    double mean_micros{0.0};
+    /// The full merged histogram, for exposition and custom quantiles.
+    Histogram latency_us{AtomicHistogram::kSubBits};
   };
 
-  [[nodiscard]] EndpointSnapshot snapshot(Endpoint endpoint) const noexcept;
+  [[nodiscard]] EndpointSnapshot snapshot(Endpoint endpoint) const;
 
   /// Total requests over all endpoints.
   [[nodiscard]] std::uint64_t total_requests() const noexcept;
@@ -58,8 +66,7 @@ class Metrics {
   struct PerEndpoint {
     std::atomic<std::uint64_t> requests{0};
     std::atomic<std::uint64_t> errors{0};
-    std::atomic<std::uint64_t> max_micros{0};
-    std::array<std::atomic<std::uint64_t>, kBuckets> histogram{};
+    AtomicHistogram latency_us;
   };
 
   std::array<PerEndpoint, kEndpointCount> endpoints_{};

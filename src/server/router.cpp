@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "bounds/ll_bound.hpp"
 #include "bounds/scaled_periods.hpp"
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "partition/baselines.hpp"
 #include "partition/edf_split.hpp"
 #include "partition/rmts.hpp"
@@ -432,9 +434,166 @@ void write_endpoint_stats(JsonWriter& w, const Metrics& metrics,
   w.value(snap.p90_micros);
   w.key("p99_us");
   w.value(snap.p99_micros);
+  w.key("mean_us");
+  w.value(snap.mean_micros);
   w.key("max_us");
   w.value(snap.max_micros);
   w.end_object();
+}
+
+/// Cross-layer stage timers and counters, appended to the stats reply
+/// when the tracing layer is compiled in (common/trace.hpp).
+void write_trace_stats(JsonWriter& w) {
+  w.key("tracing");
+  w.value(trace::compiled_in() && trace::enabled());
+  if (!trace::compiled_in()) return;
+  const trace::Snapshot snap = trace::snapshot();
+  w.key("stages");
+  w.begin_object();
+  for (std::size_t s = 0; s < trace::kStageCount; ++s) {
+    const trace::StageSnapshot& stage = snap.stages[s];
+    if (stage.count == 0) continue;
+    w.key(trace::stage_name(static_cast<trace::Stage>(s)));
+    w.begin_object();
+    w.key("count");
+    w.value(stage.count);
+    w.key("total_us");
+    w.value(static_cast<double>(stage.total_ns) / 1000.0);
+    w.key("mean_us");
+    w.value(stage.mean_ns() / 1000.0);
+    w.key("p50_us");
+    w.value(stage.latency_ns.quantile(0.50) / 1000.0);
+    w.key("p99_us");
+    w.value(stage.latency_ns.quantile(0.99) / 1000.0);
+    w.key("max_us");
+    w.value(static_cast<double>(stage.max_ns) / 1000.0);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("counters");
+  w.begin_object();
+  for (std::size_t c = 0; c < trace::kCounterCount; ++c) {
+    w.key(trace::counter_name(static_cast<trace::Counter>(c)));
+    w.value(snap.counters[c]);
+  }
+  w.end_object();
+}
+
+/// The trace stage timing each op's compute; kMalformed never reaches the
+/// handler switch.
+trace::Stage stage_of(Endpoint endpoint) noexcept {
+  switch (endpoint) {
+    case Endpoint::kAdmit: return trace::Stage::kRouterAdmit;
+    case Endpoint::kAnalyze: return trace::Stage::kRouterAnalyze;
+    case Endpoint::kRobustness: return trace::Stage::kRouterRobustness;
+    case Endpoint::kSimulate: return trace::Stage::kRouterSimulate;
+    case Endpoint::kStats: return trace::Stage::kRouterStats;
+    case Endpoint::kMetrics: return trace::Stage::kRouterMetrics;
+    case Endpoint::kMalformed: break;
+  }
+  return trace::Stage::kRouterStats;
+}
+
+// ------------------------------------------------- text exposition ------
+
+/// Prometheus floats: integral values print bare, others via json_number
+/// (shortest round-trip decimal; never inf/nan here).
+std::string prom_number(double value) {
+  if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  return json_number(value);
+}
+
+void expose_endpoints(std::ostringstream& out, const Metrics& metrics) {
+  out << "# TYPE rmts_requests_total counter\n";
+  for (std::size_t e = 0; e < kEndpointCount; ++e) {
+    const auto endpoint = static_cast<Endpoint>(e);
+    const Metrics::EndpointSnapshot snap = metrics.snapshot(endpoint);
+    out << "rmts_requests_total{endpoint=\"" << endpoint_name(endpoint)
+        << "\"} " << snap.requests << '\n';
+  }
+  out << "# TYPE rmts_request_errors_total counter\n";
+  for (std::size_t e = 0; e < kEndpointCount; ++e) {
+    const auto endpoint = static_cast<Endpoint>(e);
+    const Metrics::EndpointSnapshot snap = metrics.snapshot(endpoint);
+    out << "rmts_request_errors_total{endpoint=\"" << endpoint_name(endpoint)
+        << "\"} " << snap.errors << '\n';
+  }
+  // Sparse HDR histogram: only non-empty buckets are emitted (cumulative,
+  // as Prometheus `le` semantics require), plus the mandatory +Inf.
+  out << "# TYPE rmts_request_latency_us histogram\n";
+  for (std::size_t e = 0; e < kEndpointCount; ++e) {
+    const auto endpoint = static_cast<Endpoint>(e);
+    const Metrics::EndpointSnapshot snap = metrics.snapshot(endpoint);
+    if (snap.requests == 0) continue;
+    const std::string label{endpoint_name(endpoint)};
+    for (const Histogram::Bucket& bucket : snap.latency_us.nonzero_buckets()) {
+      out << "rmts_request_latency_us_bucket{endpoint=\"" << label
+          << "\",le=\"" << bucket.upper << "\"} " << bucket.cumulative << '\n';
+    }
+    out << "rmts_request_latency_us_bucket{endpoint=\"" << label
+        << "\",le=\"+Inf\"} " << snap.latency_us.count() << '\n';
+    out << "rmts_request_latency_us_sum{endpoint=\"" << label << "\"} "
+        << snap.latency_us.sum() << '\n';
+    out << "rmts_request_latency_us_count{endpoint=\"" << label << "\"} "
+        << snap.latency_us.count() << '\n';
+  }
+}
+
+void expose_runtime(std::ostringstream& out, const RuntimeStats& runtime) {
+  out << "# TYPE rmts_uptime_seconds gauge\n"
+      << "rmts_uptime_seconds " << prom_number(runtime.uptime_seconds) << '\n'
+      << "# TYPE rmts_workers gauge\n"
+      << "rmts_workers " << runtime.workers << '\n'
+      << "# TYPE rmts_connections_accepted_total counter\n"
+      << "rmts_connections_accepted_total " << runtime.connections_accepted
+      << '\n'
+      << "# TYPE rmts_connections_active gauge\n"
+      << "rmts_connections_active " << runtime.connections_active << '\n'
+      << "# TYPE rmts_requests_shed_total counter\n"
+      << "rmts_requests_shed_total " << runtime.requests_shed << '\n'
+      << "# TYPE rmts_batches_dispatched_total counter\n"
+      << "rmts_batches_dispatched_total " << runtime.batches_dispatched << '\n'
+      << "# TYPE rmts_requests_in_flight gauge\n"
+      << "rmts_requests_in_flight " << runtime.in_flight << '\n';
+}
+
+void expose_trace(std::ostringstream& out) {
+  if (!trace::compiled_in()) return;
+  const trace::Snapshot snap = trace::snapshot();
+  out << "# TYPE rmts_trace_events_total counter\n";
+  for (std::size_t c = 0; c < trace::kCounterCount; ++c) {
+    out << "rmts_trace_events_total{counter=\""
+        << trace::counter_name(static_cast<trace::Counter>(c)) << "\"} "
+        << snap.counters[c] << '\n';
+  }
+  const std::uint64_t posted =
+      snap.counter(trace::Counter::kPoolTasksPosted);
+  const std::uint64_t started =
+      snap.counter(trace::Counter::kPoolTasksStarted);
+  out << "# TYPE rmts_pool_queue_depth gauge\n"
+      << "rmts_pool_queue_depth " << (posted > started ? posted - started : 0)
+      << '\n';
+  // Per-stage latency as a summary (count/sum plus key quantiles); the
+  // full per-stage HDR buckets would multiply the payload ~16x for little
+  // scrape value.
+  out << "# TYPE rmts_stage_latency_ns summary\n";
+  for (std::size_t s = 0; s < trace::kStageCount; ++s) {
+    const trace::StageSnapshot& stage = snap.stages[s];
+    if (stage.count == 0) continue;
+    const std::string_view name =
+        trace::stage_name(static_cast<trace::Stage>(s));
+    for (const double q : {0.5, 0.9, 0.99}) {
+      out << "rmts_stage_latency_ns{stage=\"" << name << "\",quantile=\""
+          << prom_number(q) << "\"} "
+          << prom_number(stage.latency_ns.quantile(q)) << '\n';
+    }
+    out << "rmts_stage_latency_ns_sum{stage=\"" << name << "\"} "
+        << stage.total_ns << '\n';
+    out << "rmts_stage_latency_ns_count{stage=\"" << name << "\"} "
+        << stage.count << '\n';
+  }
 }
 
 }  // namespace
@@ -472,6 +631,8 @@ HandleOutcome Router::handle(std::string_view line) const {
     endpoint = Endpoint::kSimulate;
   } else if (op == "stats") {
     endpoint = Endpoint::kStats;
+  } else if (op == "metrics") {
+    endpoint = Endpoint::kMetrics;
   } else {
     return {error_reply("unknown op '" + op + "'"), Endpoint::kMalformed, true};
   }
@@ -494,6 +655,7 @@ HandleOutcome Router::handle(std::string_view line) const {
   };
 
   try {
+    const trace::Span span(stage_of(endpoint));
     JsonWriter w;
     begin_reply(w, op, id);
     switch (endpoint) {
@@ -527,6 +689,14 @@ HandleOutcome Router::handle(std::string_view line) const {
           write_endpoint_stats(w, metrics_, static_cast<Endpoint>(e));
         }
         w.end_object();
+        write_trace_stats(w);
+        break;
+      }
+      case Endpoint::kMetrics: {
+        w.key("content_type");
+        w.value("text/plain; version=0.0.4");
+        w.key("text");
+        w.value(metrics_exposition());
         break;
       }
       case Endpoint::kMalformed: break;  // unreachable
@@ -540,6 +710,14 @@ HandleOutcome Router::handle(std::string_view line) const {
     // fault models) -- expected for hostile inputs, reported verbatim.
     return fail(error.what());
   }
+}
+
+std::string Router::metrics_exposition() const {
+  std::ostringstream out;
+  expose_endpoints(out, metrics_);
+  if (runtime_) expose_runtime(out, runtime_());
+  expose_trace(out);
+  return out.str();
 }
 
 HandleOutcome Router::oversized_line() const {

@@ -66,6 +66,14 @@ class Router {
   /// well-formed ok:false reply.  Thread-safe.
   [[nodiscard]] HandleOutcome handle(std::string_view line) const;
 
+  /// Prometheus-style text exposition (text/plain; version 0.0.4) of the
+  /// whole observability surface: per-endpoint request counters and HDR
+  /// latency histograms (sparse `le` buckets), event-loop gauges, trace
+  /// counters and per-stage latency summaries.  Served by the `metrics`
+  /// op (JSON-wrapped) and by the server's `GET /metrics` scrape path
+  /// (raw).  Thread-safe.
+  [[nodiscard]] std::string metrics_exposition() const;
+
   /// Canonical outcome for a line the decoder refused (over the length
   /// cap) -- the request text itself is gone, so this cannot echo an id.
   [[nodiscard]] HandleOutcome oversized_line() const;

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -19,6 +20,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "server/protocol.hpp"
 
 namespace rmts::server {
@@ -41,6 +43,7 @@ constexpr std::uint64_t kFirstConnectionToken = 16;
 /// One request handed to the worker pool.
 struct PendingRequest {
   std::uint64_t token{0};
+  std::uint64_t seq{0};  ///< per-connection dispatch order
   std::string line;
   Clock::time_point enqueued;
 };
@@ -48,6 +51,7 @@ struct PendingRequest {
 /// One computed reply travelling back to the loop.
 struct Completion {
   std::uint64_t token{0};
+  std::uint64_t seq{0};
   std::string reply;
 };
 
@@ -60,6 +64,14 @@ struct Connection {
   std::size_t write_offset{0};
   /// Requests of this connection currently dispatched or queued.
   std::size_t pending{0};
+  /// Pipelined replies must leave in request order, but one connection's
+  /// wave can span several pool batches that complete on different
+  /// workers in either order.  Each pooled request gets the next seq;
+  /// completions ahead of deliver_next wait in held until the gap fills
+  /// (bounded by max_in_flight, and empty whenever pending == 0).
+  std::uint64_t seq_next{0};
+  std::uint64_t deliver_next{0};
+  std::map<std::uint64_t, std::string> held;
   bool read_closed{false};
   /// Interest currently registered with epoll.
   bool want_read{true};
@@ -333,6 +345,7 @@ struct Server::Impl {
   }
 
   void drain_decoded_lines(Connection& conn) {
+    const trace::Span span(trace::Stage::kServerDecode);
     LineDecoder::Line line;
     while (conn.decoder.next(line)) {
       if (line.oversized) {
@@ -342,6 +355,14 @@ struct Server::Impl {
         continue;
       }
       if (line.text.empty()) continue;
+      // A line-protocol peer never opens with "GET ": this is a plain
+      // HTTP client (curl, a Prometheus scraper).  Serve it raw and
+      // close; any trailing header lines still in the decoder are
+      // irrelevant once the connection is marked read-closed.
+      if (line.text.rfind("GET ", 0) == 0) {
+        serve_http_get(conn, line.text);
+        break;
+      }
       // Load shedding: answer immediately instead of queueing without
       // bound -- the event loop must stay responsive when the pool is
       // saturated.
@@ -352,10 +373,62 @@ struct Server::Impl {
         continue;
       }
       conn.pending += 1;
-      pending_batch.push_back(
-          PendingRequest{conn.token, std::move(line.text), Clock::now()});
+      pending_batch.push_back(PendingRequest{conn.token, conn.seq_next++,
+                                             std::move(line.text),
+                                             Clock::now()});
     }
     update_interest(conn);
+  }
+
+  /// Minimal HTTP scrape path so `curl http://host:port/metrics` works
+  /// against the line-protocol port.  Replies HTTP/1.0-style with a
+  /// Content-Length and Connection: close, then lets finish_or_rearm tear
+  /// the connection down once the response is flushed.
+  void serve_http_get(Connection& conn, const std::string& request_line) {
+    const auto started = Clock::now();
+    // Path = second whitespace-separated token of the request line.
+    const std::size_t path_begin = request_line.find_first_not_of(' ', 3);
+    const std::size_t path_end = path_begin == std::string::npos
+                                     ? std::string::npos
+                                     : request_line.find(' ', path_begin);
+    const std::string path =
+        path_begin == std::string::npos
+            ? std::string{}
+            : request_line.substr(path_begin, path_end == std::string::npos
+                                                  ? std::string::npos
+                                                  : path_end - path_begin);
+    std::string status;
+    std::string content_type;
+    std::string body;
+    if (path == "/metrics") {
+      const trace::Span span(trace::Stage::kRouterMetrics);
+      status = "200 OK";
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = router.metrics_exposition();
+    } else {
+      status = "404 Not Found";
+      content_type = "text/plain; charset=utf-8";
+      body = "only /metrics is served here\n";
+    }
+    std::string response;
+    response.reserve(body.size() + 128);
+    response += "HTTP/1.0 ";
+    response += status;
+    response += "\r\nContent-Type: ";
+    response += content_type;
+    response += "\r\nContent-Length: ";
+    response += std::to_string(body.size());
+    response += "\r\nConnection: close\r\n\r\n";
+    response += body;
+    conn.write_buffer += response;  // raw bytes, no line framing
+    conn.read_closed = true;
+    const auto micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              started)
+            .count());
+    metrics.record(path == "/metrics" ? Endpoint::kMetrics
+                                      : Endpoint::kMalformed,
+                   path != "/metrics", micros);
   }
 
   /// Posts this wave's decoded requests to the pool in batch_size chunks,
@@ -385,13 +458,38 @@ struct Server::Impl {
     std::vector<Completion> done;
     done.reserve(work.size());
     for (PendingRequest& request : work) {
-      HandleOutcome out = router.handle(request.line);
+      // When tracing, the same two clock reads yield queue wait, compute
+      // time and the end-to-end metrics latency -- no extra reads beyond
+      // the one Metrics already needs.
+      HandleOutcome out;
+      Clock::time_point after;
+      if (trace::enabled()) {
+        const Clock::time_point before = Clock::now();
+        trace::record_ns(
+            trace::Stage::kServerQueueWait,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    before - request.enqueued)
+                    .count()));
+        out = router.handle(request.line);
+        after = Clock::now();
+        trace::record_ns(
+            trace::Stage::kServerCompute,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    after - before)
+                    .count()));
+      } else {
+        out = router.handle(request.line);
+        after = Clock::now();
+      }
       const auto micros = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
-              Clock::now() - request.enqueued)
+              after - request.enqueued)
               .count());
       metrics.record(out.endpoint, out.error, micros);
-      done.push_back(Completion{request.token, std::move(out.reply)});
+      done.push_back(
+          Completion{request.token, request.seq, std::move(out.reply)});
     }
     {
       const std::scoped_lock lock(completion_mutex);
@@ -417,7 +515,20 @@ struct Server::Impl {
       if (it == connections.end()) continue;  // connection died meanwhile
       Connection& conn = *it->second;
       if (conn.pending > 0) conn.pending -= 1;
+      // Release replies strictly in dispatch order: a completion ahead of
+      // the next expected seq waits in held until the gap fills.
+      if (completion.seq != conn.deliver_next) {
+        conn.held.emplace(completion.seq, std::move(completion.reply));
+        continue;
+      }
       enqueue_reply(conn, completion.reply);
+      conn.deliver_next += 1;
+      auto next = conn.held.begin();
+      while (next != conn.held.end() && next->first == conn.deliver_next) {
+        enqueue_reply(conn, next->second);
+        conn.deliver_next += 1;
+        next = conn.held.erase(next);
+      }
     }
     // Flush + interest updates (and possibly closes) per touched conn.
     for (const Completion& completion : ready) finish_or_rearm(completion.token);
@@ -431,17 +542,20 @@ struct Server::Impl {
   /// Writes as much buffered reply data as the socket takes.  Returns
   /// false when the connection is dead.
   bool flush(Connection& conn) {
-    while (conn.unsent() != 0) {
-      const ssize_t sent =
-          ::send(conn.fd, conn.write_buffer.data() + conn.write_offset,
-                 conn.unsent(), MSG_NOSIGNAL);
-      if (sent > 0) {
-        conn.write_offset += static_cast<std::size_t>(sent);
-        continue;
+    if (conn.unsent() != 0) {
+      const trace::Span span(trace::Stage::kServerWrite);
+      while (conn.unsent() != 0) {
+        const ssize_t sent =
+            ::send(conn.fd, conn.write_buffer.data() + conn.write_offset,
+                   conn.unsent(), MSG_NOSIGNAL);
+        if (sent > 0) {
+          conn.write_offset += static_cast<std::size_t>(sent);
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        return false;  // EPIPE / ECONNRESET
       }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      return false;  // EPIPE / ECONNRESET
     }
     if (conn.write_offset == conn.write_buffer.size()) {
       conn.write_buffer.clear();

@@ -28,6 +28,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 
 namespace rmts {
 
@@ -864,13 +865,18 @@ const SimResult& simulate(const TaskSet& tasks, const Assignment& assignment,
     throw InvalidConfigError("simulate: offsets size mismatch");
   }
   detail::SimState& s = *workspace.state_;
-  detail::build_chains(s, tasks, assignment, config.policy);
-  detail::validate_faults(config.faults, assignment.processors.size());
-  if (config.policy == DispatchPolicy::kEarliestDeadlineFirst) {
-    detail::run_engine(s, s.edf_ready, tasks, assignment, config);
-  } else {
-    detail::run_engine(s, s.fp_ready, tasks, assignment, config);
+  {
+    const trace::Span span(trace::Stage::kSimRun);
+    detail::build_chains(s, tasks, assignment, config.policy);
+    detail::validate_faults(config.faults, assignment.processors.size());
+    if (config.policy == DispatchPolicy::kEarliestDeadlineFirst) {
+      detail::run_engine(s, s.edf_ready, tasks, assignment, config);
+    } else {
+      detail::run_engine(s, s.fp_ready, tasks, assignment, config);
+    }
   }
+  trace::count(trace::Counter::kSimRuns);
+  trace::count(trace::Counter::kSimEvents, s.result.events);
   return s.result;
 }
 

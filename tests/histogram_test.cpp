@@ -1,0 +1,279 @@
+// Property tests for the shared log-linear HDR histogram
+// (common/histogram.hpp): bucket geometry, interpolated quantiles vs
+// exact sorted-sample ground truth, exact merges, and the concurrent
+// flavour's extrema under contention.
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rmts {
+namespace {
+
+// ---- bucket geometry ------------------------------------------------------
+
+std::vector<std::uint64_t> geometry_probes() {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < 4096; ++v) values.push_back(v);
+  for (unsigned e = 12; e < 64; ++e) {
+    const std::uint64_t p = std::uint64_t{1} << e;
+    values.push_back(p - 1);
+    values.push_back(p);
+    values.push_back(p + 1);
+    values.push_back(p + (p >> 1));  // mid-octave
+  }
+  values.push_back(~std::uint64_t{0});
+  return values;
+}
+
+TEST(HistogramLayout, IndexIsMonotoneAndBoundsRoundTrip) {
+  for (unsigned sb = HistogramLayout::kMinSubBits;
+       sb <= HistogramLayout::kMaxSubBits; ++sb) {
+    std::size_t previous = 0;
+    for (const std::uint64_t v : geometry_probes()) {
+      const std::size_t index = HistogramLayout::bucket_index(v, sb);
+      ASSERT_LT(index, HistogramLayout::bucket_count(sb));
+      ASSERT_GE(index, previous) << "non-monotone at value " << v;
+      previous = index;
+      const std::uint64_t lower = HistogramLayout::bucket_lower(index, sb);
+      const std::uint64_t upper = HistogramLayout::bucket_upper(index, sb);
+      ASSERT_LE(lower, v);
+      ASSERT_GE(upper, v);
+      // The bounds land back in the same bucket.
+      ASSERT_EQ(HistogramLayout::bucket_index(lower, sb), index);
+      ASSERT_EQ(HistogramLayout::bucket_index(upper, sb), index);
+    }
+  }
+}
+
+TEST(HistogramLayout, BucketWidthRespectsPrecision) {
+  for (unsigned sb = HistogramLayout::kMinSubBits;
+       sb <= HistogramLayout::kMaxSubBits; ++sb) {
+    const double precision = 1.0 / static_cast<double>(std::uint64_t{1} << sb);
+    for (const std::uint64_t v : geometry_probes()) {
+      if (v == 0) continue;
+      const std::size_t index = HistogramLayout::bucket_index(v, sb);
+      const double lower =
+          static_cast<double>(HistogramLayout::bucket_lower(index, sb));
+      const double upper =
+          static_cast<double>(HistogramLayout::bucket_upper(index, sb));
+      ASSERT_LE(upper - lower, precision * lower + 1e-9)
+          << "bucket " << index << " too wide at sub_bits " << sb;
+    }
+  }
+}
+
+// ---- quantile accuracy ----------------------------------------------------
+
+/// Exact nearest-rank quantile of a sorted sample, matching the
+/// definition Histogram::quantile approximates.
+double exact_quantile(const std::vector<std::uint64_t>& sorted, double p) {
+  const auto rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(p * static_cast<double>(sorted.size()))));
+  return static_cast<double>(sorted[rank - 1]);
+}
+
+void expect_quantiles_within_precision(std::vector<std::uint64_t> samples,
+                                       unsigned sub_bits) {
+  Histogram h(sub_bits);
+  for (const std::uint64_t v : samples) h.record(v);
+  std::sort(samples.begin(), samples.end());
+  for (const double p :
+       {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}) {
+    const double exact = exact_quantile(samples, p);
+    const double approx = h.quantile(p);
+    // Relative error bounded by the bucket width at the value, i.e. the
+    // configured precision (+1 absolute slack for unit-bucket rounding).
+    EXPECT_LE(std::abs(approx - exact), h.precision() * exact + 1.0)
+        << "p=" << p << " sub_bits=" << sub_bits << " exact=" << exact
+        << " approx=" << approx;
+  }
+  EXPECT_EQ(h.quantile(0.0), static_cast<double>(samples.front()));
+  EXPECT_EQ(h.quantile(1.0), static_cast<double>(samples.back()));
+}
+
+TEST(Histogram, QuantilesMatchSortedGroundTruthUniform) {
+  Rng rng(1);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(static_cast<std::uint64_t>(rng.uniform_int(0, 100000)));
+  }
+  for (const unsigned sb : {1u, 5u, 8u}) {
+    expect_quantiles_within_precision(samples, sb);
+  }
+}
+
+TEST(Histogram, QuantilesMatchSortedGroundTruthLogNormal) {
+  Rng rng(2);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    samples.push_back(
+        static_cast<std::uint64_t>(std::llround(500.0 * std::exp(z))));
+  }
+  for (const unsigned sb : {1u, 5u, 8u}) {
+    expect_quantiles_within_precision(samples, sb);
+  }
+}
+
+TEST(Histogram, QuantilesMatchSortedGroundTruthBucketEdges) {
+  // Adversarial population sitting exactly on power-of-two bucket edges
+  // (2^k - 1, 2^k, 2^k + 1): the old power-of-two sketches were off by up
+  // to ~50% here.
+  Rng rng(3);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = static_cast<unsigned>(rng.uniform_int(1, 30));
+    const std::uint64_t p = std::uint64_t{1} << k;
+    const std::int64_t offset = rng.uniform_int(-1, 1);
+    samples.push_back(p + static_cast<std::uint64_t>(offset + 1) - 1);
+  }
+  for (const unsigned sb : {1u, 5u, 8u}) {
+    expect_quantiles_within_precision(samples, sb);
+  }
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Values below 2^sub_bits land in unit-width buckets: every quantile is
+  // the exact sample value, no interpolation error at all.
+  Histogram h(5);
+  for (std::uint64_t v = 1; v <= 31; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 16.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 31.0);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_EQ(h.count(), 31u);
+  EXPECT_EQ(h.sum(), 31u * 32u / 2);
+}
+
+// ---- merge ----------------------------------------------------------------
+
+TEST(Histogram, MergeIsExact) {
+  Rng rng(4);
+  Histogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const auto va = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    const auto vb = static_cast<std::uint64_t>(rng.uniform_int(5, 1 << 24));
+    a.record(va);
+    b.record(vb);
+    combined.record(va);
+    combined.record(vb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.counts(), combined.counts());
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (const double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(p), combined.quantile(p));
+  }
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  Rng rng(5);
+  Histogram parts[3];
+  for (int i = 0; i < 3000; ++i) {
+    parts[static_cast<std::size_t>(i % 3)].record(
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 22)));
+  }
+  // (a + b) + c
+  Histogram left(parts[0].sub_bits());
+  left.merge(parts[0]);
+  left.merge(parts[1]);
+  left.merge(parts[2]);
+  // a + (b + c)
+  Histogram bc(parts[1].sub_bits());
+  bc.merge(parts[1]);
+  bc.merge(parts[2]);
+  Histogram right(parts[0].sub_bits());
+  right.merge(parts[0]);
+  right.merge(bc);
+  EXPECT_EQ(left.counts(), right.counts());
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+}
+
+TEST(Histogram, MergePrecisionMismatchThrows) {
+  Histogram coarse(2);
+  Histogram fine(6);
+  fine.record(100);
+  EXPECT_THROW(coarse.merge(fine), InvalidConfigError);
+}
+
+TEST(Histogram, InvalidSubBitsThrows) {
+  EXPECT_THROW(Histogram h(0), InvalidConfigError);
+  EXPECT_THROW(Histogram h(9), InvalidConfigError);
+}
+
+TEST(Histogram, WeightedRecordMatchesRepeated) {
+  Histogram weighted, repeated;
+  weighted.record(1000, 7);
+  weighted.record(2000, 3);
+  for (int i = 0; i < 7; ++i) repeated.record(1000);
+  for (int i = 0; i < 3; ++i) repeated.record(2000);
+  EXPECT_EQ(weighted.counts(), repeated.counts());
+  EXPECT_EQ(weighted.count(), repeated.count());
+  EXPECT_EQ(weighted.sum(), repeated.sum());
+}
+
+// ---- concurrent flavour ---------------------------------------------------
+
+TEST(AtomicHistogram, ConcurrentRecordKeepsExactCountAndExtrema) {
+  // Regression for the lossy-max pattern: under contention a plain
+  // relaxed store can lose the true maximum; the CAS loop must not.
+  AtomicHistogram h;
+  constexpr std::uint64_t kPerThread = 50'000;
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Rng rng(100 + t);
+      for (std::uint64_t i = 0; i < kPerThread - 1; ++i) {
+        h.record(static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20)));
+      }
+      // Every thread races to publish a candidate maximum at the end.
+      h.record((std::uint64_t{1} << 21) + t);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), kPerThread * kThreads);
+  EXPECT_EQ(snap.max(), (std::uint64_t{1} << 21) + kThreads - 1);
+  EXPECT_GE(snap.min(), 1u);
+  EXPECT_EQ(h.max(), snap.max());
+}
+
+TEST(AtomicHistogram, SnapshotMatchesPlainRecording) {
+  AtomicHistogram atomic;
+  Histogram plain;
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 18));
+    atomic.record(v);
+    plain.record(v);
+  }
+  const Histogram snap = atomic.snapshot();
+  EXPECT_EQ(snap.counts(), plain.counts());
+  EXPECT_EQ(snap.count(), plain.count());
+  EXPECT_EQ(snap.sum(), plain.sum());
+  EXPECT_EQ(snap.min(), plain.min());
+  EXPECT_EQ(snap.max(), plain.max());
+}
+
+}  // namespace
+}  // namespace rmts

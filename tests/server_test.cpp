@@ -292,14 +292,15 @@ TEST(ServerTest, ServesEveryEndpointOverTcp) {
         make_admit_request(2, tasks, "spa2", {}, 2),
         make_admit_request(2, tasks, "edf-ts", {}, 3),
         make_analyze_request(2, tasks), make_robustness_request(2, tasks),
-        make_simulate_request(2, tasks), make_stats_request()}) {
+        make_simulate_request(2, tasks), make_stats_request(),
+        make_metrics_request()}) {
     const JsonValue reply = parse_ok(client.request(request));
     ASSERT_NE(reply.find("ok"), nullptr) << request;
     EXPECT_TRUE(reply.find("ok")->as_bool()) << request;
   }
 
   // The metrics the stats endpoint reads are visible in-process too.
-  EXPECT_EQ(server->metrics().total_requests(), 7u);
+  EXPECT_EQ(server->metrics().total_requests(), 8u);
   EXPECT_EQ(server->runtime_stats().connections_accepted, 1u);
 }
 

@@ -2,19 +2,23 @@
 //
 //   rmts_loadgen --port N [--host A] [--connections N] [--seconds S]
 //                [--tasks N] [--processors N] [--util U] [--seed N]
-//                [--alg NAME] [--bound NAME]
+//                [--alg NAME] [--bound NAME] [--json FILE]
 //                [--mix admit=1,analyze=0,robustness=0,simulate=0,stats=0]
 //
 // Each connection keeps exactly one request outstanding (closed loop), so
 // the printed qps is the service's throughput at full utilization.  The
 // driver itself lives in src/server/load.hpp and is shared with
-// bench/bench_e18_server_throughput.
+// bench/bench_e18_server_throughput.  Latency percentiles are interpolated
+// HDR quantiles (relative error <= 3.1%), reported overall and per op
+// class; --json additionally writes the full report as one JSON document.
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "server/json.hpp"
 #include "server/load.hpp"
 
 namespace {
@@ -23,8 +27,66 @@ namespace {
   std::cerr << "usage: " << argv0
             << " --port N [--host A] [--connections N] [--seconds S]"
                " [--tasks N] [--processors N] [--util U] [--seed N]"
-               " [--alg NAME] [--bound NAME] [--mix admit=1,stats=0,...]\n";
+               " [--alg NAME] [--bound NAME] [--json FILE]"
+               " [--mix admit=1,stats=0,...]\n";
   std::exit(2);
+}
+
+void write_quantiles(rmts::server::JsonWriter& w, const rmts::Histogram& h) {
+  w.key("n");
+  w.value(h.count());
+  w.key("p50_us");
+  w.value(h.quantile(0.50));
+  w.key("p90_us");
+  w.value(h.quantile(0.90));
+  w.key("p99_us");
+  w.value(h.quantile(0.99));
+  w.key("mean_us");
+  w.value(h.mean());
+  w.key("max_us");
+  w.value(h.max());
+}
+
+std::string report_json(const rmts::server::LoadConfig& config,
+                        const rmts::server::LoadReport& report) {
+  using rmts::server::OpClass;
+  rmts::server::JsonWriter w;
+  w.begin_object();
+  w.key("connections");
+  w.value(config.connections);
+  w.key("seconds");
+  w.value(report.elapsed_seconds);
+  w.key("requests");
+  w.value(report.requests);
+  w.key("qps");
+  w.value(report.qps());
+  w.key("ok");
+  w.value(report.ok);
+  w.key("accepted");
+  w.value(report.accepted);
+  w.key("shed");
+  w.value(report.shed);
+  w.key("errors");
+  w.value(report.errors);
+  w.key("transport_errors");
+  w.value(report.transport_errors);
+  w.key("latency");
+  w.begin_object();
+  write_quantiles(w, report.latency_us);
+  w.end_object();
+  w.key("per_op");
+  w.begin_object();
+  for (std::size_t op = 0; op < rmts::server::kOpClassCount; ++op) {
+    const rmts::Histogram& h = report.per_op_latency_us[op];
+    if (h.count() == 0) continue;
+    w.key(rmts::server::op_class_name(static_cast<OpClass>(op)));
+    w.begin_object();
+    write_quantiles(w, h);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
 }
 
 /// Parses "admit=3,analyze=1,..." into an OpMix (unnamed ops stay 0).
@@ -59,6 +121,7 @@ rmts::server::OpMix parse_mix(const std::string& text, const char* argv0) {
 
 int main(int argc, char** argv) {
   rmts::server::LoadConfig config;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -88,6 +151,8 @@ int main(int argc, char** argv) {
       config.bound = next();
     } else if (flag == "--mix") {
       config.mix = parse_mix(next(), argv[0]);
+    } else if (flag == "--json") {
+      json_path = next();
     } else {
       usage(argv[0]);
     }
@@ -105,10 +170,27 @@ int main(int argc, char** argv) {
               << "  shed       " << report.shed << '\n'
               << "  errors     " << report.errors << " protocol, "
               << report.transport_errors << " transport\n"
-              << "  latency_us p50<=" << report.percentile_micros(0.50)
-              << " p90<=" << report.percentile_micros(0.90) << " p99<="
-              << report.percentile_micros(0.99) << " max="
-              << report.max_micros << '\n';
+              << "  latency_us p50=" << report.percentile_micros(0.50)
+              << " p90=" << report.percentile_micros(0.90)
+              << " p99=" << report.percentile_micros(0.99)
+              << " max=" << report.max_micros() << '\n';
+    for (std::size_t op = 0; op < rmts::server::kOpClassCount; ++op) {
+      const rmts::Histogram& h = report.per_op_latency_us[op];
+      if (h.count() == 0) continue;
+      std::cout << "  " << rmts::server::op_class_name(
+                              static_cast<rmts::server::OpClass>(op))
+                << " n=" << h.count() << " p50=" << h.quantile(0.50)
+                << " p90=" << h.quantile(0.90) << " p99=" << h.quantile(0.99)
+                << " max=" << h.max() << '\n';
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "rmts_loadgen: cannot write " << json_path << '\n';
+        return 1;
+      }
+      out << report_json(config, report) << '\n';
+    }
     return report.transport_errors == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "rmts_loadgen: " << e.what() << '\n';
