@@ -74,6 +74,35 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+Histogram Histogram::delta_since(const Histogram& earlier) const {
+  if (earlier.sub_bits_ != sub_bits_) {
+    throw InvalidConfigError(
+        "Histogram::delta_since: precision mismatch (sub_bits " +
+        std::to_string(sub_bits_) + " vs " +
+        std::to_string(earlier.sub_bits_) + ")");
+  }
+  Histogram out(sub_bits_);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t now = counts_[b];
+    const std::uint64_t then = earlier.counts_[b];
+    if (now <= then) continue;
+    const std::uint64_t n = now - then;
+    out.counts_[b] = n;
+    if (total == 0) out.min_ = HistogramLayout::bucket_lower(b, sub_bits_);
+    out.max_ = HistogramLayout::bucket_upper(b, sub_bits_);
+    total += n;
+  }
+  out.count_ = total;
+  out.sum_ = sum_ >= earlier.sum_ ? sum_ - earlier.sum_ : 0;
+  if (total == 0) {
+    out.min_ = 0;
+    out.max_ = 0;
+    out.sum_ = 0;
+  }
+  return out;
+}
+
 void Histogram::clear() noexcept {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

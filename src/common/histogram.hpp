@@ -124,6 +124,17 @@ class Histogram {
   /// recorded here.  Throws InvalidConfigError on precision mismatch.
   void merge(const Histogram& other);
 
+  /// Interval view: the histogram of everything recorded here but not in
+  /// `earlier`, where `earlier` is a previous snapshot of the same
+  /// monotonically-growing histogram (bucket counts subtract; saturating,
+  /// so a racy snapshot pair degrades to an empty bucket rather than
+  /// wrapping).  The interval's exact extrema are gone, so min/max are
+  /// reconstructed from the outermost non-empty bucket bounds -- quantile
+  /// precision is unchanged.  The overload controller reads per-interval
+  /// p99 this way without ever clearing the live histogram.  Throws
+  /// InvalidConfigError on precision mismatch.
+  [[nodiscard]] Histogram delta_since(const Histogram& earlier) const;
+
   void clear() noexcept;
 
   /// One non-empty bucket, for exposition (`upper` is the inclusive

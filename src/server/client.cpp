@@ -1,13 +1,18 @@
 #include "server/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "server/json.hpp"
@@ -22,7 +27,9 @@ namespace {
 
 }  // namespace
 
-Client::Client(const std::string& host, std::uint16_t port, int timeout_ms) {
+Client::Client(const std::string& host, std::uint16_t port, int timeout_ms,
+               std::uint64_t seed)
+    : retry_rng_(seed) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -30,23 +37,55 @@ Client::Client(const std::string& host, std::uint16_t port, int timeout_ms) {
     throw TransportError("not a numeric IPv4 address: " + host);
   }
 
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd_ < 0) fail("socket");
+
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Bounded connect: start it non-blocking, wait for writability with
+  // poll(), then read back SO_ERROR.  A blocking connect() ignores the
+  // socket send timeout on Linux, so a black-holed address would stall
+  // callers for the kernel's minutes-long SYN retry schedule.
+  int rc =
+      ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINTR) rc = -1, errno = EINPROGRESS;
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd_);
+      fd_ = -1;
+      fail("connect");
+    }
+    pollfd pfd{fd_, POLLOUT, 0};
+    int waited;
+    do {
+      waited = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+    } while (waited < 0 && errno == EINTR);
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (waited > 0) ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (waited <= 0 || soerr != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      if (waited == 0) {
+        throw TransportError("connect timed out after " +
+                             std::to_string(timeout_ms) + " ms");
+      }
+      if (waited < 0) fail("poll (connect)");
+      errno = soerr;
+      fail("connect");
+    }
+  }
+
+  // Back to blocking; request()/read_reply() rely on the socket timeouts.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
 
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
   tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd_);
-    fd_ = -1;
-    fail("connect");
-  }
 }
 
 Client::~Client() {
@@ -54,13 +93,16 @@ Client::~Client() {
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      retry_rng_(other.retry_rng_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
+    retry_rng_ = other.retry_rng_;
   }
   return *this;
 }
@@ -68,6 +110,59 @@ Client& Client::operator=(Client&& other) noexcept {
 std::string Client::request(std::string_view line) {
   send_line(line);
   return read_reply();
+}
+
+RetryResult Client::request_with_retry(std::string_view line,
+                                       const RetryPolicy& policy) {
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  RetryResult result;
+  for (int attempt = 1;; ++attempt) {
+    result.reply = request(line);
+    result.attempts = attempt;
+    const int hint_ms = parse_retry_after_ms(result.reply);
+    if (hint_ms == 0) return result;  // not an overload shed
+    if (attempt >= max_attempts) {
+      result.attempts_exhausted = true;
+      return result;
+    }
+    // Exponential backoff from the policy, but never retry sooner than the
+    // server asked; jitter decorrelates a fleet of clients so the retries
+    // don't arrive as a fresh synchronized burst.
+    std::int64_t backoff_ms = policy.base_backoff_ms;
+    for (int k = 1; k < attempt && backoff_ms < policy.max_backoff_ms; ++k) {
+      backoff_ms *= 2;
+    }
+    backoff_ms = std::max<std::int64_t>(backoff_ms, hint_ms);
+    backoff_ms =
+        std::min<std::int64_t>(backoff_ms, std::max(policy.max_backoff_ms, 1));
+    const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+    const double factor =
+        1.0 + jitter * (2.0 * retry_rng_.uniform() - 1.0);
+    backoff_ms = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<double>(backoff_ms) * factor));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    result.backoff_total_ms += backoff_ms;
+  }
+}
+
+int Client::parse_retry_after_ms(std::string_view reply) noexcept {
+  if (reply.find("\"error\":\"overloaded\"") == std::string_view::npos) {
+    return 0;
+  }
+  static constexpr std::string_view kKey = "\"retry_after_ms\":";
+  const std::size_t at = reply.find(kKey);
+  if (at == std::string_view::npos) return 1;  // shed without a hint
+  std::size_t i = at + kKey.size();
+  long long value = 0;
+  bool any = false;
+  while (i < reply.size() && reply[i] >= '0' && reply[i] <= '9') {
+    value = value * 10 + (reply[i] - '0');
+    if (value > 1'000'000) value = 1'000'000;
+    ++i;
+    any = true;
+  }
+  if (!any || value <= 0) return 1;
+  return static_cast<int>(value);
 }
 
 void Client::send_line(std::string_view line) {
@@ -121,12 +216,17 @@ namespace {
 
 void write_common(JsonWriter& w, std::string_view op, std::size_t processors,
                   const TaskSet& tasks, std::string_view alg,
-                  std::string_view bound, std::int64_t id) {
+                  std::string_view bound, std::int64_t id,
+                  std::int64_t deadline_ms) {
   w.key("op");
   w.value(op);
   if (id >= 0) {
     w.key("id");
     w.value(id);
+  }
+  if (deadline_ms > 0) {
+    w.key("deadline_ms");
+    w.value(deadline_ms);
   }
   w.key("m");
   w.value(processors);
@@ -153,20 +253,20 @@ void write_common(JsonWriter& w, std::string_view op, std::size_t processors,
 
 std::string make_admit_request(std::size_t processors, const TaskSet& tasks,
                                std::string_view alg, std::string_view bound,
-                               std::int64_t id) {
+                               std::int64_t id, std::int64_t deadline_ms) {
   JsonWriter w;
   w.begin_object();
-  write_common(w, "admit", processors, tasks, alg, bound, id);
+  write_common(w, "admit", processors, tasks, alg, bound, id, deadline_ms);
   w.end_object();
   return w.str();
 }
 
 std::string make_analyze_request(std::size_t processors, const TaskSet& tasks,
                                  std::string_view alg, std::string_view bound,
-                                 std::int64_t id) {
+                                 std::int64_t id, std::int64_t deadline_ms) {
   JsonWriter w;
   w.begin_object();
-  write_common(w, "analyze", processors, tasks, alg, bound, id);
+  write_common(w, "analyze", processors, tasks, alg, bound, id, deadline_ms);
   w.end_object();
   return w.str();
 }
@@ -174,10 +274,11 @@ std::string make_analyze_request(std::size_t processors, const TaskSet& tasks,
 std::string make_robustness_request(std::size_t processors,
                                     const TaskSet& tasks, std::string_view alg,
                                     std::string_view bound, double max_factor,
-                                    std::uint64_t fault_seed, std::int64_t id) {
+                                    std::uint64_t fault_seed, std::int64_t id,
+                                    std::int64_t deadline_ms) {
   JsonWriter w;
   w.begin_object();
-  write_common(w, "robustness", processors, tasks, alg, bound, id);
+  write_common(w, "robustness", processors, tasks, alg, bound, id, deadline_ms);
   if (max_factor > 0.0) {
     w.key("max_factor");
     w.value(max_factor);
@@ -192,10 +293,10 @@ std::string make_robustness_request(std::size_t processors,
 
 std::string make_simulate_request(std::size_t processors, const TaskSet& tasks,
                                   std::string_view alg, std::string_view bound,
-                                  std::int64_t id) {
+                                  std::int64_t id, std::int64_t deadline_ms) {
   JsonWriter w;
   w.begin_object();
-  write_common(w, "simulate", processors, tasks, alg, bound, id);
+  write_common(w, "simulate", processors, tasks, alg, bound, id, deadline_ms);
   w.end_object();
   return w.str();
 }

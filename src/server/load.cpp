@@ -1,6 +1,11 @@
 #include "server/load.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -14,6 +19,8 @@
 namespace rmts::server {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// One op's pre-encoded request strings (one per pooled task set; stats
 /// needs only one but keeps the same shape for uniform indexing).
@@ -29,15 +36,234 @@ bool contains(const std::string& reply, std::string_view needle) {
   return reply.find(needle) != std::string::npos;
 }
 
-void classify(const std::string& reply, LoadReport& report) {
+enum class ReplyKind { kOk, kShed, kExpired, kError };
+
+ReplyKind classify(const std::string& reply, OpClass cls, LoadReport& report) {
   if (contains(reply, "\"ok\":true")) {
     ++report.ok;
+    ++report.per_op_ok[static_cast<std::size_t>(cls)];
     if (contains(reply, "\"accepted\":true")) ++report.accepted;
-  } else if (contains(reply, "\"error\":\"overloaded\"")) {
-    ++report.shed;
-  } else {
-    ++report.errors;
+    return ReplyKind::kOk;
   }
+  if (contains(reply, "\"error\":\"overloaded\"")) {
+    ++report.shed;
+    return ReplyKind::kShed;
+  }
+  if (contains(reply, "\"error\":\"deadline_expired\"")) {
+    ++report.expired;
+    return ReplyKind::kExpired;
+  }
+  ++report.errors;
+  return ReplyKind::kError;
+}
+
+/// Weighted op pick, then a pooled request line within it.
+struct Picked {
+  std::size_t op_index{0};
+  std::size_t line_index{0};
+};
+
+Picked pick_request(Rng& rng, const std::vector<OpRequests>& ops,
+                    double total_weight) {
+  Picked p;
+  double roll = rng.uniform() * total_weight;
+  while (p.op_index + 1 < ops.size() && roll >= ops[p.op_index].weight) {
+    roll -= ops[p.op_index].weight;
+    ++p.op_index;
+  }
+  p.line_index = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(ops[p.op_index].lines.size()) - 1));
+  return p;
+}
+
+/// Exponential backoff before resend attempt `next_attempt` (2-based:
+/// the first resend is attempt 2), never sooner than the server's hint,
+/// jittered so a fleet of connections decorrelates.
+std::int64_t retry_backoff_ms(const RetryPolicy& policy, int next_attempt,
+                              int hint_ms, Rng& rng) {
+  std::int64_t backoff = policy.base_backoff_ms;
+  for (int k = 2; k < next_attempt && backoff < policy.max_backoff_ms; ++k) {
+    backoff *= 2;
+  }
+  backoff = std::max<std::int64_t>(backoff, hint_ms);
+  backoff = std::min<std::int64_t>(backoff, std::max(policy.max_backoff_ms, 1));
+  const double factor = 1.0 + policy.jitter * (2.0 * rng.uniform() - 1.0);
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(backoff) * factor));
+}
+
+/// Poisson arrival state for one open-loop sender: draws exponential
+/// inter-arrival gaps at the instantaneous rate (base or burst).
+struct ArrivalProcess {
+  double base_rate;  ///< requests/second for this connection
+  const LoadConfig& config;
+  Clock::time_point start;
+  Rng rng;
+
+  [[nodiscard]] bool in_burst(Clock::time_point now) const {
+    if (config.burst_factor <= 1.0 || config.burst_period_s <= 0.0 ||
+        config.burst_duration_s <= 0.0) {
+      return false;
+    }
+    const double elapsed = std::chrono::duration<double>(now - start).count();
+    return std::fmod(elapsed, config.burst_period_s) < config.burst_duration_s;
+  }
+
+  [[nodiscard]] Clock::duration next_gap(Clock::time_point now) {
+    const double rate =
+        base_rate * (in_burst(now) ? config.burst_factor : 1.0);
+    const double gap_s = -std::log(1.0 - rng.uniform()) / std::max(rate, 1e-9);
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(std::min(gap_s, 3600.0)));
+  }
+};
+
+/// One sent-but-unanswered request; the protocol replies in order, so a
+/// FIFO of these matches replies back to their op class and send time.
+struct PendingSend {
+  std::size_t op_index{0};
+  std::size_t line_index{0};
+  int attempt{1};
+  Clock::time_point sent;
+};
+
+/// A shed request waiting out its backoff before the sender re-offers it.
+struct RetryEntry {
+  std::size_t op_index{0};
+  std::size_t line_index{0};
+  int attempt{2};
+  Clock::time_point not_before;
+};
+
+/// Everything one open-loop connection's sender/receiver pair shares.
+struct OpenLoopChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PendingSend> outstanding;
+  std::deque<RetryEntry> retries;
+  bool sender_done{false};
+  std::atomic<bool> failed{false};
+};
+
+/// Receiver half: matches replies to the outstanding FIFO, records
+/// latency, and (when retrying) re-enqueues sheds for the sender.
+void open_loop_receiver(Client& client, const LoadConfig& config,
+                        const std::vector<OpRequests>& ops,
+                        OpenLoopChannel& ch, LoadReport& report, Rng jitter) {
+  const RetryPolicy policy{config.max_attempts, 10, 2000, 0.3};
+  try {
+    for (;;) {
+      PendingSend entry;
+      {
+        std::unique_lock lock(ch.mu);
+        ch.cv.wait(lock, [&] {
+          return !ch.outstanding.empty() || ch.sender_done ||
+                 ch.failed.load(std::memory_order_relaxed);
+        });
+        if (ch.failed.load(std::memory_order_relaxed)) return;
+        if (ch.outstanding.empty()) {
+          if (ch.sender_done) return;
+          continue;
+        }
+        entry = ch.outstanding.front();
+        ch.outstanding.pop_front();
+      }
+
+      const std::string reply = client.read_reply();
+      const auto now = Clock::now();
+      const auto micros = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                                entry.sent)
+              .count());
+
+      ++report.requests;
+      const OpClass cls = ops[entry.op_index].cls;
+      const ReplyKind kind = classify(reply, cls, report);
+      report.latency_us.record(micros);
+      report.per_op_latency_us[static_cast<std::size_t>(cls)].record(micros);
+
+      if (kind == ReplyKind::kShed && config.retry &&
+          entry.attempt < std::max(config.max_attempts, 1)) {
+        const int hint = Client::parse_retry_after_ms(reply);
+        const std::int64_t backoff =
+            retry_backoff_ms(policy, entry.attempt + 1, hint, jitter);
+        const std::scoped_lock lock(ch.mu);
+        if (!ch.sender_done) {
+          ch.retries.push_back({entry.op_index, entry.line_index,
+                                entry.attempt + 1,
+                                now + std::chrono::milliseconds(backoff)});
+          ch.cv.notify_all();
+        }
+      }
+    }
+  } catch (const TransportError&) {
+    ++report.transport_errors;
+    ch.failed.store(true, std::memory_order_relaxed);
+    ch.cv.notify_all();
+  }
+}
+
+/// Sender half: Poisson first-attempt arrivals plus due retries, all
+/// pipelined without waiting for replies.
+void open_loop_sender(Client& client, ArrivalProcess& arrivals,
+                      const std::vector<OpRequests>& ops, double total_weight,
+                      Clock::time_point deadline, OpenLoopChannel& ch,
+                      LoadReport& report, Rng pick) {
+  try {
+    auto next_send = arrivals.start + arrivals.next_gap(arrivals.start);
+    for (;;) {
+      if (ch.failed.load(std::memory_order_relaxed)) break;
+      const auto now = Clock::now();
+      if (now >= deadline) break;
+
+      // Due retries jump the queue: their arrival already happened.
+      std::vector<RetryEntry> due;
+      {
+        const std::scoped_lock lock(ch.mu);
+        while (!ch.retries.empty() && ch.retries.front().not_before <= now) {
+          due.push_back(ch.retries.front());
+          ch.retries.pop_front();
+        }
+      }
+      for (const RetryEntry& r : due) {
+        client.send_line(ops[r.op_index].lines[r.line_index]);
+        ++report.retries;
+        const std::scoped_lock lock(ch.mu);
+        ch.outstanding.push_back(
+            {r.op_index, r.line_index, r.attempt, Clock::now()});
+        ch.cv.notify_all();
+      }
+
+      if (next_send <= now) {
+        const Picked p = pick_request(pick, ops, total_weight);
+        client.send_line(ops[p.op_index].lines[p.line_index]);
+        ++report.offered;
+        {
+          const std::scoped_lock lock(ch.mu);
+          ch.outstanding.push_back(
+              {p.op_index, p.line_index, 1, Clock::now()});
+          ch.cv.notify_all();
+        }
+        next_send += arrivals.next_gap(now);
+        continue;
+      }
+
+      auto wake = std::min(next_send, deadline);
+      {
+        const std::scoped_lock lock(ch.mu);
+        for (const RetryEntry& r : ch.retries) {
+          wake = std::min(wake, r.not_before);
+        }
+      }
+      std::this_thread::sleep_until(wake);
+    }
+  } catch (const TransportError&) {
+    ++report.transport_errors;
+    ch.failed.store(true, std::memory_order_relaxed);
+  }
+  const std::scoped_lock lock(ch.mu);
+  ch.sender_done = true;
+  ch.cv.notify_all();
 }
 
 }  // namespace
@@ -55,9 +281,12 @@ std::string_view op_class_name(OpClass op) noexcept {
 
 void LoadReport::merge(const LoadReport& other) {
   requests += other.requests;
+  offered += other.offered;
+  retries += other.retries;
   ok += other.ok;
   accepted += other.accepted;
   shed += other.shed;
+  expired += other.expired;
   errors += other.errors;
   transport_errors += other.transport_errors;
   if (other.elapsed_seconds > elapsed_seconds) {
@@ -65,6 +294,7 @@ void LoadReport::merge(const LoadReport& other) {
   }
   latency_us.merge(other.latency_us);
   for (std::size_t op = 0; op < kOpClassCount; ++op) {
+    per_op_ok[op] += other.per_op_ok[op];
     per_op_latency_us[op].merge(other.per_op_latency_us[op]);
   }
 }
@@ -81,6 +311,9 @@ LoadReport run_load(const LoadConfig& config) {
   }
   if (config.task_pool == 0) {
     throw InvalidConfigError("run_load: task_pool must be >= 1");
+  }
+  if (config.offered_qps < 0.0 || !std::isfinite(config.offered_qps)) {
+    throw InvalidConfigError("run_load: offered_qps must be finite and >= 0");
   }
 
   // Pre-generate the task-set pool and render every request string once;
@@ -109,20 +342,21 @@ LoadReport run_load(const LoadConfig& config) {
   };
   add_op(OpClass::kAdmit, config.mix.admit, [&](const TaskSet& tasks) {
     return make_admit_request(config.processors, tasks, config.algorithm,
-                              config.bound);
+                              config.bound, -1, config.deadline_ms);
   });
   add_op(OpClass::kAnalyze, config.mix.analyze, [&](const TaskSet& tasks) {
     return make_analyze_request(config.processors, tasks, config.algorithm,
-                                config.bound);
+                                config.bound, -1, config.deadline_ms);
   });
   add_op(OpClass::kRobustness, config.mix.robustness,
          [&](const TaskSet& tasks) {
     return make_robustness_request(config.processors, tasks, config.algorithm,
-                                   config.bound);
+                                   config.bound, 0.0, 0, -1,
+                                   config.deadline_ms);
   });
   add_op(OpClass::kSimulate, config.mix.simulate, [&](const TaskSet& tasks) {
     return make_simulate_request(config.processors, tasks, config.algorithm,
-                                 config.bound);
+                                 config.bound, -1, config.deadline_ms);
   });
   add_op(OpClass::kStats, config.mix.stats,
          [&](const TaskSet&) { return make_stats_request(); });
@@ -132,11 +366,11 @@ LoadReport run_load(const LoadConfig& config) {
   double total_weight = 0.0;
   for (const OpRequests& op : ops) total_weight += op.weight;
 
-  using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
   const auto deadline =
       start + std::chrono::duration_cast<Clock::duration>(
                   std::chrono::duration<double>(config.seconds));
+  const bool open_loop = config.offered_qps > 0.0;
 
   std::mutex merge_mutex;
   LoadReport merged;
@@ -149,37 +383,65 @@ LoadReport run_load(const LoadConfig& config) {
     threads.emplace_back([&, c] {
       LoadReport local;
       try {
-        Client client(config.host, config.port, config.timeout_ms);
+        Client client(config.host, config.port, config.timeout_ms,
+                      config.seed ^ (0xC11E57ULL + c));
         Rng pick = Rng(config.seed).fork(0x10000 + c);
-        while (Clock::now() < deadline) {
-          // Weighted op choice, then a pooled task set.
-          double roll = pick.uniform() * total_weight;
-          std::size_t op_index = 0;
-          while (op_index + 1 < ops.size() && roll >= ops[op_index].weight) {
-            roll -= ops[op_index].weight;
-            ++op_index;
+
+        if (open_loop) {
+          // Sender/receiver pair over one connection: sends never wait
+          // for replies, so offered load is independent of service rate.
+          ArrivalProcess arrivals{
+              config.offered_qps / static_cast<double>(config.connections),
+              config, start, Rng(config.seed).fork(0x20000 + c)};
+          OpenLoopChannel ch;
+          LoadReport recv_report;
+          std::thread receiver([&] {
+            open_loop_receiver(client, config, ops, ch, recv_report,
+                               Rng(config.seed).fork(0x30000 + c));
+          });
+          open_loop_sender(client, arrivals, ops, total_weight, deadline, ch,
+                           local, pick);
+          receiver.join();
+          local.merge(recv_report);
+        } else {
+          const RetryPolicy policy{config.max_attempts, 10, 2000, 0.3};
+          while (Clock::now() < deadline) {
+            const Picked p = pick_request(pick, ops, total_weight);
+            const std::string& line = ops[p.op_index].lines[p.line_index];
+            const OpClass cls = ops[p.op_index].cls;
+
+            const auto sent = Clock::now();
+            std::string reply;
+            if (config.retry) {
+              RetryResult r = client.request_with_retry(line, policy);
+              // Every non-final attempt was answered with a shed.
+              local.requests +=
+                  static_cast<std::uint64_t>(r.attempts > 1 ? r.attempts - 1
+                                                            : 0);
+              local.shed += static_cast<std::uint64_t>(
+                  r.attempts > 1 ? r.attempts - 1 : 0);
+              local.retries += static_cast<std::uint64_t>(r.attempts - 1);
+              reply = std::move(r.reply);
+            } else {
+              reply = client.request(line);
+            }
+            const auto micros = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - sent)
+                    .count());
+
+            ++local.offered;
+            ++local.requests;
+            classify(reply, cls, local);
+            local.latency_us.record(micros);
+            local.per_op_latency_us[static_cast<std::size_t>(cls)].record(
+                micros);
           }
-          const OpRequests& op = ops[op_index];
-          const auto line_index = static_cast<std::size_t>(pick.uniform_int(
-              0, static_cast<std::int64_t>(op.lines.size()) - 1));
-
-          const auto sent = Clock::now();
-          const std::string reply = client.request(op.lines[line_index]);
-          const auto micros = static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::microseconds>(
-                  Clock::now() - sent)
-                  .count());
-
-          ++local.requests;
-          classify(reply, local);
-          local.latency_us.record(micros);
-          local.per_op_latency_us[static_cast<std::size_t>(op.cls)].record(
-              micros);
         }
       } catch (const TransportError& e) {
         ++local.transport_errors;
         const std::scoped_lock lock(merge_mutex);
-        if (local.requests == 0) {
+        if (local.requests == 0 && local.offered == 0) {
           ++connects_failed;
           connect_error = e.what();
         }

@@ -1,0 +1,200 @@
+#include "server/overload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "server/json.hpp"
+
+namespace rmts::server {
+
+namespace {
+
+/// Skips JSON whitespace from `pos`; returns the first non-ws index (or
+/// text.size()).
+std::size_t skip_ws(std::string_view text, std::size_t pos) noexcept {
+  while (pos < text.size() &&
+         (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\r' ||
+          text[pos] == '\n')) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// After a key, expects `:` then the start of the value; npos on mismatch.
+std::size_t skip_colon(std::string_view text, std::size_t pos) noexcept {
+  pos = skip_ws(text, pos);
+  if (pos >= text.size() || text[pos] != ':') return std::string_view::npos;
+  return skip_ws(text, pos + 1);
+}
+
+}  // namespace
+
+std::string_view budget_class_name(BudgetClass cls) noexcept {
+  switch (cls) {
+    case BudgetClass::kAdmit: return "admit";
+    case BudgetClass::kAnalyze: return "analyze";
+    case BudgetClass::kRobustness: return "robustness";
+    case BudgetClass::kSimulate: return "simulate";
+  }
+  return "unknown";
+}
+
+bool budget_class_of(Endpoint endpoint, BudgetClass& out) noexcept {
+  switch (endpoint) {
+    case Endpoint::kAdmit: out = BudgetClass::kAdmit; return true;
+    case Endpoint::kAnalyze: out = BudgetClass::kAnalyze; return true;
+    case Endpoint::kRobustness: out = BudgetClass::kRobustness; return true;
+    case Endpoint::kSimulate: out = BudgetClass::kSimulate; return true;
+    case Endpoint::kStats:
+    case Endpoint::kMetrics:
+    case Endpoint::kMalformed: return false;
+  }
+  return false;
+}
+
+OverloadController::OverloadController(OverloadConfig config)
+    : config_(config) {
+  if (config_.interval_ms < 1) config_.interval_ms = 1;
+  if (config_.min_budget < 1) config_.min_budget = 1;
+  if (config_.max_budget < config_.min_budget) {
+    config_.max_budget = config_.min_budget;
+  }
+  if (!(config_.decrease > 0.0 && config_.decrease < 1.0)) {
+    config_.decrease = 0.7;
+  }
+  if (config_.increase == 0) config_.increase = 1;
+  if (config_.max_retry_after_ms < config_.interval_ms) {
+    config_.max_retry_after_ms = config_.interval_ms;
+  }
+  config_.initial_budget = std::clamp(config_.initial_budget,
+                                      config_.min_budget, config_.max_budget);
+  budgets_.fill(config_.initial_budget);
+  retry_after_ms_.fill(config_.interval_ms);
+}
+
+const std::array<std::size_t, kBudgetClassCount>& OverloadController::tick(
+    const std::array<ClassSample, kBudgetClassCount>& samples) {
+  ++ticks_;
+  for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+    const ClassSample& sample = samples[c];
+    const std::uint64_t slo = config_.slo_p99_us[c];
+
+    // Retry hint first (valid in static mode too): Little's-law drain
+    // time of the current backlog at the interval's service rate.
+    if (sample.completed > 0) {
+      const double intervals =
+          static_cast<double>(sample.in_flight + 1) /
+          static_cast<double>(sample.completed);
+      const double hint =
+          std::ceil(intervals) * static_cast<double>(config_.interval_ms);
+      retry_after_ms_[c] = static_cast<int>(
+          std::clamp(hint, static_cast<double>(config_.interval_ms),
+                     static_cast<double>(config_.max_retry_after_ms)));
+    } else if (sample.in_flight > 0 || sample.shed > 0) {
+      // Saturated and nothing finished: tell clients to stay away for the
+      // full ceiling.
+      retry_after_ms_[c] = config_.max_retry_after_ms;
+    } else {
+      retry_after_ms_[c] = config_.interval_ms;
+    }
+
+    if (!config_.adaptive) continue;
+
+    const bool violated =
+        (sample.completed > 0 && sample.p99_us > static_cast<double>(slo)) ||
+        // Stuck: admitted work spans whole intervals without finishing.
+        (sample.completed == 0 && sample.in_flight > 0);
+    if (violated) {
+      const auto shrunk = static_cast<std::size_t>(
+          std::floor(static_cast<double>(budgets_[c]) * config_.decrease));
+      budgets_[c] = std::max(config_.min_budget, shrunk);
+    } else if (sample.completed > 0 &&
+               (sample.shed > 0 ||
+                sample.in_flight + sample.completed >= budgets_[c])) {
+      // Compliant AND the budget was actually the binding constraint --
+      // probing upward on an idle class would just store up a burst.
+      budgets_[c] =
+          std::min(config_.max_budget, budgets_[c] + config_.increase);
+    }
+  }
+  return budgets_;
+}
+
+RequestPeek peek_request(std::string_view line) noexcept {
+  RequestPeek peek;
+
+  // --- op class ---------------------------------------------------------
+  const std::size_t op_key = line.find("\"op\"");
+  if (op_key != std::string_view::npos) {
+    std::size_t pos = skip_colon(line, op_key + 4);
+    if (pos != std::string_view::npos && pos < line.size() &&
+        line[pos] == '"') {
+      const std::size_t begin = pos + 1;
+      const std::size_t end = line.find('"', begin);
+      if (end != std::string_view::npos) {
+        const std::string_view op = line.substr(begin, end - begin);
+        if (op == "admit") {
+          peek.cls = BudgetClass::kAdmit;
+          peek.budgeted = true;
+        } else if (op == "analyze") {
+          peek.cls = BudgetClass::kAnalyze;
+          peek.budgeted = true;
+        } else if (op == "robustness") {
+          peek.cls = BudgetClass::kRobustness;
+          peek.budgeted = true;
+        } else if (op == "simulate") {
+          peek.cls = BudgetClass::kSimulate;
+          peek.budgeted = true;
+        }
+        // stats / metrics / anything else: un-budgeted.
+      }
+    }
+  }
+
+  // --- client deadline --------------------------------------------------
+  const std::size_t dl_key = line.find("\"deadline_ms\"");
+  if (dl_key != std::string_view::npos) {
+    std::size_t pos = skip_colon(line, dl_key + 13);
+    if (pos != std::string_view::npos) {
+      std::int64_t value = 0;
+      bool any = false;
+      while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9' &&
+             value < (std::int64_t{1} << 40)) {
+        value = value * 10 + (line[pos] - '0');
+        any = true;
+        ++pos;
+      }
+      // Saturate absurd values (a ~35-year deadline is "no deadline").
+      if (any) peek.deadline_ms = std::min(value, std::int64_t{1} << 40);
+    }
+  }
+  return peek;
+}
+
+std::string overloaded_reply(int retry_after_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("ok");
+  w.value(false);
+  w.key("error");
+  w.value("overloaded");
+  w.key("retry_after_ms");
+  w.value(static_cast<std::int64_t>(retry_after_ms));
+  w.end_object();
+  return w.str();
+}
+
+std::string deadline_expired_reply(std::int64_t waited_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("ok");
+  w.value(false);
+  w.key("error");
+  w.value("deadline_expired");
+  w.key("waited_ms");
+  w.value(waited_ms);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace rmts::server

@@ -6,10 +6,12 @@
 // present, its scalar "id" (so clients can pipeline).
 //
 // Requests (fields beyond "op" and "id"):
-//   admit      m, tasks, [alg], [bound]
-//   analyze    m, tasks, [alg], [bound]
-//   robustness m, tasks, [alg], [bound], [max_factor], [fault_seed]
-//   simulate   m, tasks, [alg], [bound], [horizon_cap], [faults{...}]
+//   admit      m, tasks, [alg], [bound], [deadline_ms]
+//   analyze    m, tasks, [alg], [bound], [deadline_ms]
+//   robustness m, tasks, [alg], [bound], [max_factor], [fault_seed],
+//              [deadline_ms]
+//   simulate   m, tasks, [alg], [bound], [horizon_cap], [faults{...}],
+//              [deadline_ms]
 //   stats      (none)
 // where
 //   m      processors (int >= 1),
@@ -17,7 +19,18 @@
 //   alg    "rmts" | "rmts-light" | "spa1" | "spa2" | "prm-ff" | "edf-ts",
 //   bound  "ll" | "hc" | "tbound" | "rbound" | "burchard",
 //   faults {factor, ticks, prob, jitter, seed, containment
-//           ("none"|"budget"|"demote"), fail_proc, fail_at}.
+//           ("none"|"budget"|"demote"), fail_proc, fail_at},
+//   deadline_ms  the client's patience budget, measured from arrival: a
+//           request still queued past it is dropped with
+//           {"ok":false,"error":"deadline_expired","waited_ms":...}
+//           instead of computed (0 / absent = wait forever).
+//
+// Overload: when an op class is over its admission budget (DESIGN.md §8)
+// the server replies {"ok":false,"error":"overloaded","retry_after_ms":N}
+// without queueing the request; N estimates the backlog drain time, and
+// Client::request_with_retry honours it.  Pipelined replies leave each
+// connection strictly in request order -- sheds and expiries included --
+// so clients may match replies to requests positionally.
 //
 // This header owns the framing layer: LineDecoder turns a TCP byte stream
 // into complete lines under a hard length cap, so a peer that never sends

@@ -441,6 +441,39 @@ void write_endpoint_stats(JsonWriter& w, const Metrics& metrics,
   w.end_object();
 }
 
+/// Live overload-control state: the adaptive flag, tick count and every
+/// budgeted class's budget / in-flight / shed / expired / retry hint.
+void write_overload_stats(JsonWriter& w, const RuntimeStats& runtime) {
+  w.key("overload");
+  w.begin_object();
+  w.key("adaptive");
+  w.value(runtime.adaptive);
+  w.key("controller_ticks");
+  w.value(runtime.controller_ticks);
+  w.key("requests_expired");
+  w.value(runtime.requests_expired);
+  w.key("classes");
+  w.begin_object();
+  for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+    const ClassRuntimeStats& cls = runtime.classes[c];
+    w.key(budget_class_name(static_cast<BudgetClass>(c)));
+    w.begin_object();
+    w.key("budget");
+    w.value(static_cast<std::uint64_t>(cls.budget));
+    w.key("in_flight");
+    w.value(cls.in_flight);
+    w.key("shed");
+    w.value(cls.shed);
+    w.key("expired");
+    w.value(cls.expired);
+    w.key("retry_after_ms");
+    w.value(cls.retry_after_ms);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
 /// Cross-layer stage timers and counters, appended to the stats reply
 /// when the tracing layer is compiled in (common/trace.hpp).
 void write_trace_stats(JsonWriter& w) {
@@ -553,10 +586,50 @@ void expose_runtime(std::ostringstream& out, const RuntimeStats& runtime) {
       << "rmts_connections_active " << runtime.connections_active << '\n'
       << "# TYPE rmts_requests_shed_total counter\n"
       << "rmts_requests_shed_total " << runtime.requests_shed << '\n'
+      << "# TYPE rmts_requests_expired_total counter\n"
+      << "rmts_requests_expired_total " << runtime.requests_expired << '\n'
       << "# TYPE rmts_batches_dispatched_total counter\n"
       << "rmts_batches_dispatched_total " << runtime.batches_dispatched << '\n'
       << "# TYPE rmts_requests_in_flight gauge\n"
       << "rmts_requests_in_flight " << runtime.in_flight << '\n';
+
+  // Overload-control surface: live budgets and per-class counters, so a
+  // dashboard can watch the controller breathe in production.
+  out << "# TYPE rmts_overload_adaptive gauge\n"
+      << "rmts_overload_adaptive " << (runtime.adaptive ? 1 : 0) << '\n'
+      << "# TYPE rmts_overload_controller_ticks_total counter\n"
+      << "rmts_overload_controller_ticks_total " << runtime.controller_ticks
+      << '\n';
+  out << "# TYPE rmts_class_budget gauge\n";
+  for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+    out << "rmts_class_budget{class=\""
+        << budget_class_name(static_cast<BudgetClass>(c)) << "\"} "
+        << runtime.classes[c].budget << '\n';
+  }
+  out << "# TYPE rmts_class_in_flight gauge\n";
+  for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+    out << "rmts_class_in_flight{class=\""
+        << budget_class_name(static_cast<BudgetClass>(c)) << "\"} "
+        << runtime.classes[c].in_flight << '\n';
+  }
+  out << "# TYPE rmts_class_shed_total counter\n";
+  for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+    out << "rmts_class_shed_total{class=\""
+        << budget_class_name(static_cast<BudgetClass>(c)) << "\"} "
+        << runtime.classes[c].shed << '\n';
+  }
+  out << "# TYPE rmts_class_expired_total counter\n";
+  for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+    out << "rmts_class_expired_total{class=\""
+        << budget_class_name(static_cast<BudgetClass>(c)) << "\"} "
+        << runtime.classes[c].expired << '\n';
+  }
+  out << "# TYPE rmts_class_retry_after_ms gauge\n";
+  for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+    out << "rmts_class_retry_after_ms{class=\""
+        << budget_class_name(static_cast<BudgetClass>(c)) << "\"} "
+        << runtime.classes[c].retry_after_ms << '\n';
+  }
 }
 
 void expose_trace(std::ostringstream& out) {
@@ -680,6 +753,7 @@ HandleOutcome Router::handle(std::string_view line) const {
           w.value(runtime.batches_dispatched);
           w.key("in_flight");
           w.value(runtime.in_flight);
+          write_overload_stats(w, runtime);
         }
         w.key("requests_total");
         w.value(metrics_.total_requests());

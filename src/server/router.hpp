@@ -14,12 +14,14 @@
 // model).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <string>
 #include <string_view>
 
 #include "common/time.hpp"
 #include "server/metrics.hpp"
+#include "server/overload.hpp"
 
 namespace rmts::server {
 
@@ -34,16 +36,30 @@ struct RouterConfig {
   double max_overrun_factor{8.0};
 };
 
+/// One budgeted op class's live overload-control state (stats/metrics).
+struct ClassRuntimeStats {
+  std::size_t budget{0};        ///< current admission budget
+  std::uint64_t in_flight{0};   ///< queued-or-running right now
+  std::uint64_t shed{0};        ///< total budget rejections
+  std::uint64_t expired{0};     ///< total deadline-expired drops
+  int retry_after_ms{0};        ///< hint currently attached to sheds
+};
+
 /// Event-loop-side counters surfaced verbatim by the stats endpoint (the
 /// router itself cannot see sockets or queues).
 struct RuntimeStats {
   std::uint64_t connections_accepted{0};
   std::uint64_t connections_active{0};
   std::uint64_t requests_shed{0};
+  std::uint64_t requests_expired{0};
   std::uint64_t batches_dispatched{0};
   std::uint64_t in_flight{0};
   double uptime_seconds{0.0};
   std::size_t workers{0};
+  /// Overload-control surface: whether budgets adapt, and per-class state.
+  bool adaptive{false};
+  std::uint64_t controller_ticks{0};
+  std::array<ClassRuntimeStats, kBudgetClassCount> classes{};
 };
 
 /// Outcome of one handled line: the reply document (no trailing newline)

@@ -6,6 +6,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -21,6 +22,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "server/overload.hpp"
 #include "server/protocol.hpp"
 
 namespace rmts::server {
@@ -29,11 +31,12 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// epoll user-data tokens for the three non-connection fds; connection
+/// epoll user-data tokens for the four non-connection fds; connection
 /// tokens start above so they can never collide.
 constexpr std::uint64_t kListenToken = 1;
 constexpr std::uint64_t kStopToken = 2;
 constexpr std::uint64_t kCompletionToken = 3;
+constexpr std::uint64_t kTimerToken = 4;
 constexpr std::uint64_t kFirstConnectionToken = 16;
 
 [[noreturn]] void throw_errno(const std::string& what) {
@@ -46,6 +49,11 @@ struct PendingRequest {
   std::uint64_t seq{0};  ///< per-connection dispatch order
   std::string line;
   Clock::time_point enqueued;
+  /// Event-loop peek results: which class budget this request holds (if
+  /// any) and the client deadline in ms from arrival (0 = none).
+  BudgetClass cls{BudgetClass::kAdmit};
+  bool budgeted{false};
+  std::int64_t deadline_ms{0};
 };
 
 /// One computed reply travelling back to the loop.
@@ -66,9 +74,11 @@ struct Connection {
   std::size_t pending{0};
   /// Pipelined replies must leave in request order, but one connection's
   /// wave can span several pool batches that complete on different
-  /// workers in either order.  Each pooled request gets the next seq;
-  /// completions ahead of deliver_next wait in held until the gap fills
-  /// (bounded by max_in_flight, and empty whenever pending == 0).
+  /// workers in either order -- and decode-time replies (sheds, oversized
+  /// lines) are produced before earlier pooled requests finish.  Every
+  /// reply therefore claims the next seq at decode time; completions
+  /// ahead of deliver_next wait in held until the gap fills (bounded by
+  /// max_in_flight, and empty whenever pending == 0).
   std::uint64_t seq_next{0};
   std::uint64_t deliver_next{0};
   std::map<std::uint64_t, std::string> held;
@@ -90,6 +100,7 @@ struct Connection {
 struct Server::Impl {
   explicit Impl(ServerConfig config_in)
       : config(normalize(std::move(config_in))),
+        controller(config.overload),
         router(config.router, metrics, [this] { return runtime_snapshot(); }),
         pool(std::make_unique<ThreadPool>(config.workers)) {
     start_time = Clock::now();
@@ -121,15 +132,33 @@ struct Server::Impl {
 
     stop_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
     completion_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    timer_fd = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
     epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
-    if (stop_fd < 0 || completion_fd < 0 || epoll_fd < 0) {
+    if (stop_fd < 0 || completion_fd < 0 || timer_fd < 0 || epoll_fd < 0) {
       close_all();
-      throw_errno("eventfd/epoll_create1");
+      throw_errno("eventfd/timerfd/epoll_create1");
+    }
+    // Arm the monitoring tick (the controller clamped interval_ms >= 1).
+    const int interval_ms = controller.config().interval_ms;
+    itimerspec tick{};
+    tick.it_interval.tv_sec = interval_ms / 1000;
+    tick.it_interval.tv_nsec = (interval_ms % 1000) * 1'000'000L;
+    tick.it_value = tick.it_interval;
+    ::timerfd_settime(timer_fd, 0, &tick, nullptr);
+    // Publish the initial budgets/hints before any request arrives.
+    for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+      class_budget[c].store(
+          controller.budget(static_cast<BudgetClass>(c)),
+          std::memory_order_relaxed);
+      class_retry_ms[c].store(
+          controller.retry_after_ms(static_cast<BudgetClass>(c)),
+          std::memory_order_relaxed);
     }
     try {
       add_fd(listen_fd, kListenToken, EPOLLIN);
       add_fd(stop_fd, kStopToken, EPOLLIN);
       add_fd(completion_fd, kCompletionToken, EPOLLIN);
+      add_fd(timer_fd, kTimerToken, EPOLLIN);
     } catch (...) {
       close_all();  // ~Impl will not run if the constructor throws
       throw;
@@ -180,7 +209,7 @@ struct Server::Impl {
 
   void close_all() noexcept {
     close_sockets();
-    for (int* fd : {&stop_fd, &completion_fd, &epoll_fd}) {
+    for (int* fd : {&stop_fd, &completion_fd, &timer_fd, &epoll_fd}) {
       if (*fd >= 0) {
         ::close(*fd);
         *fd = -1;
@@ -194,13 +223,76 @@ struct Server::Impl {
         connections_accepted.load(std::memory_order_relaxed);
     out.connections_active = connections_active.load(std::memory_order_relaxed);
     out.requests_shed = requests_shed.load(std::memory_order_relaxed);
+    out.requests_expired = requests_expired.load(std::memory_order_relaxed);
     out.batches_dispatched =
         batches_dispatched.load(std::memory_order_relaxed);
     out.in_flight = in_flight.load(std::memory_order_relaxed);
     out.uptime_seconds =
         std::chrono::duration<double>(Clock::now() - start_time).count();
     out.workers = config.workers;
+    out.adaptive = controller.config().adaptive;
+    out.controller_ticks = controller_ticks.load(std::memory_order_relaxed);
+    for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+      ClassRuntimeStats& cls = out.classes[c];
+      cls.budget = class_budget[c].load(std::memory_order_relaxed);
+      cls.in_flight = class_in_flight[c].load(std::memory_order_relaxed);
+      cls.shed = class_shed[c].load(std::memory_order_relaxed);
+      cls.expired = class_expired[c].load(std::memory_order_relaxed);
+      cls.retry_after_ms = class_retry_ms[c].load(std::memory_order_relaxed);
+    }
     return out;
+  }
+
+  /// One monitoring tick (timerfd): read each class's interval metrics
+  /// from the cumulative HDR histograms, step the controller, publish the
+  /// new budgets and retry hints.  Runs on the event-loop thread only.
+  void controller_tick() {
+    std::uint64_t expirations = 0;
+    (void)::read(timer_fd, &expirations, sizeof expirations);
+
+    std::array<ClassSample, kBudgetClassCount> samples{};
+    std::array<Histogram, kBudgetClassCount> latency{};
+    for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+      const auto cls = static_cast<BudgetClass>(c);
+      const Endpoint endpoint = endpoint_of(cls);
+      Metrics::EndpointSnapshot snap = metrics.snapshot(endpoint);
+      latency[c] = std::move(snap.latency_us);
+      ClassSample& sample = samples[c];
+      sample.completed = snap.requests - tick_prev_requests[c];
+      const std::uint64_t shed_now =
+          class_shed[c].load(std::memory_order_relaxed);
+      sample.shed = shed_now - tick_prev_shed[c];
+      sample.in_flight = class_in_flight[c].load(std::memory_order_relaxed);
+      if (sample.completed > 0) {
+        sample.p99_us =
+            latency[c].delta_since(tick_prev_latency[c]).quantile(0.99);
+      }
+      tick_prev_requests[c] = snap.requests;
+      tick_prev_shed[c] = shed_now;
+    }
+    for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+      tick_prev_latency[c] = std::move(latency[c]);
+    }
+
+    controller.tick(samples);
+    controller_ticks.store(controller.ticks(), std::memory_order_relaxed);
+    for (std::size_t c = 0; c < kBudgetClassCount; ++c) {
+      const auto cls = static_cast<BudgetClass>(c);
+      class_budget[c].store(controller.budget(cls),
+                            std::memory_order_relaxed);
+      class_retry_ms[c].store(controller.retry_after_ms(cls),
+                              std::memory_order_relaxed);
+    }
+  }
+
+  static Endpoint endpoint_of(BudgetClass cls) noexcept {
+    switch (cls) {
+      case BudgetClass::kAdmit: return Endpoint::kAdmit;
+      case BudgetClass::kAnalyze: return Endpoint::kAnalyze;
+      case BudgetClass::kRobustness: return Endpoint::kRobustness;
+      case BudgetClass::kSimulate: return Endpoint::kSimulate;
+    }
+    return Endpoint::kAdmit;
   }
 
   // ---- event loop -------------------------------------------------------
@@ -232,6 +324,8 @@ struct Server::Impl {
           begin_drain();
         } else if (token == kCompletionToken) {
           deliver_completions();
+        } else if (token == kTimerToken) {
+          controller_tick();
         } else {
           connection_ready(token, mask);
         }
@@ -351,7 +445,7 @@ struct Server::Impl {
       if (line.oversized) {
         const HandleOutcome out = router.oversized_line();
         metrics.record(out.endpoint, out.error, 0);
-        enqueue_reply(conn, out.reply);
+        enqueue_ordered(conn, conn.seq_next++, out.reply);
         continue;
       }
       if (line.text.empty()) continue;
@@ -365,17 +459,38 @@ struct Server::Impl {
       }
       // Load shedding: answer immediately instead of queueing without
       // bound -- the event loop must stay responsive when the pool is
-      // saturated.
-      if (in_flight.load(std::memory_order_relaxed) + pending_batch.size() >=
-          config.max_in_flight) {
+      // saturated.  Two gates: the per-op-class admission budget (adapted
+      // by the controller to hold each class's p99 SLO) and the global
+      // max_in_flight backstop behind it.  Sheds carry the controller's
+      // retry_after_ms hint so well-behaved clients back off for about as
+      // long as the congestion will last.
+      const RequestPeek peek = peek_request(line.text);
+      const auto cls_index = static_cast<std::size_t>(peek.cls);
+      const bool over_budget =
+          peek.budgeted &&
+          class_in_flight[cls_index].load(std::memory_order_relaxed) >=
+              controller.budget(peek.cls);
+      const bool over_backstop =
+          in_flight.load(std::memory_order_relaxed) + pending_batch.size() >=
+          config.max_in_flight;
+      if (over_budget || over_backstop) {
         requests_shed.fetch_add(1, std::memory_order_relaxed);
-        enqueue_reply(conn, error_reply("overloaded"));
+        int hint = controller.config().interval_ms;
+        if (peek.budgeted) {
+          class_shed[cls_index].fetch_add(1, std::memory_order_relaxed);
+          hint = controller.retry_after_ms(peek.cls);
+        }
+        enqueue_ordered(conn, conn.seq_next++, overloaded_reply(hint));
         continue;
+      }
+      if (peek.budgeted) {
+        class_in_flight[cls_index].fetch_add(1, std::memory_order_relaxed);
       }
       conn.pending += 1;
       pending_batch.push_back(PendingRequest{conn.token, conn.seq_next++,
                                              std::move(line.text),
-                                             Clock::now()});
+                                             Clock::now(), peek.cls,
+                                             peek.budgeted, peek.deadline_ms});
     }
     update_interest(conn);
   }
@@ -458,6 +573,33 @@ struct Server::Impl {
     std::vector<Completion> done;
     done.reserve(work.size());
     for (PendingRequest& request : work) {
+      // Deadline-aware shedding: if the client's deadline passed while the
+      // request sat in the queue, nobody is waiting for the answer --
+      // drop it with a distinct error instead of computing it.  The
+      // (queue-wait) latency is still recorded so the controller sees the
+      // congestion that caused the expiry.
+      if (request.deadline_ms > 0) {
+        const auto waited_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - request.enqueued)
+                .count();
+        if (waited_ms > request.deadline_ms) {
+          requests_expired.fetch_add(1, std::memory_order_relaxed);
+          const Endpoint endpoint = request.budgeted
+                                        ? endpoint_of(request.cls)
+                                        : Endpoint::kMalformed;
+          metrics.record(endpoint, true,
+                         static_cast<std::uint64_t>(waited_ms) * 1000);
+          if (request.budgeted) {
+            const auto c = static_cast<std::size_t>(request.cls);
+            class_expired[c].fetch_add(1, std::memory_order_relaxed);
+            class_in_flight[c].fetch_sub(1, std::memory_order_relaxed);
+          }
+          done.push_back(Completion{request.token, request.seq,
+                                    deadline_expired_reply(waited_ms)});
+          continue;
+        }
+      }
       // When tracing, the same two clock reads yield queue wait, compute
       // time and the end-to-end metrics latency -- no extra reads beyond
       // the one Metrics already needs.
@@ -488,6 +630,10 @@ struct Server::Impl {
               after - request.enqueued)
               .count());
       metrics.record(out.endpoint, out.error, micros);
+      if (request.budgeted) {
+        class_in_flight[static_cast<std::size_t>(request.cls)].fetch_sub(
+            1, std::memory_order_relaxed);
+      }
       done.push_back(
           Completion{request.token, request.seq, std::move(out.reply)});
     }
@@ -515,20 +661,7 @@ struct Server::Impl {
       if (it == connections.end()) continue;  // connection died meanwhile
       Connection& conn = *it->second;
       if (conn.pending > 0) conn.pending -= 1;
-      // Release replies strictly in dispatch order: a completion ahead of
-      // the next expected seq waits in held until the gap fills.
-      if (completion.seq != conn.deliver_next) {
-        conn.held.emplace(completion.seq, std::move(completion.reply));
-        continue;
-      }
-      enqueue_reply(conn, completion.reply);
-      conn.deliver_next += 1;
-      auto next = conn.held.begin();
-      while (next != conn.held.end() && next->first == conn.deliver_next) {
-        enqueue_reply(conn, next->second);
-        conn.deliver_next += 1;
-        next = conn.held.erase(next);
-      }
+      enqueue_ordered(conn, completion.seq, std::move(completion.reply));
     }
     // Flush + interest updates (and possibly closes) per touched conn.
     for (const Completion& completion : ready) finish_or_rearm(completion.token);
@@ -537,6 +670,29 @@ struct Server::Impl {
   void enqueue_reply(Connection& conn, const std::string& reply) {
     conn.write_buffer += reply;
     conn.write_buffer.push_back('\n');
+  }
+
+  /// Releases `reply` (claiming slot `seq`) strictly in request order: the
+  /// reply for the next expected seq goes to the write buffer along with
+  /// any consecutive successors parked in held; a reply ahead of a gap
+  /// (an earlier request still in the pool) waits in held until the gap
+  /// fills.  Both pooled completions and decode-time replies (sheds,
+  /// oversized lines) come through here, so a pipelining client can match
+  /// replies to requests positionally.
+  void enqueue_ordered(Connection& conn, std::uint64_t seq,
+                       const std::string& reply) {
+    if (seq != conn.deliver_next) {
+      conn.held.emplace(seq, reply);
+      return;
+    }
+    enqueue_reply(conn, reply);
+    conn.deliver_next += 1;
+    auto next = conn.held.begin();
+    while (next != conn.held.end() && next->first == conn.deliver_next) {
+      enqueue_reply(conn, next->second);
+      conn.deliver_next += 1;
+      next = conn.held.erase(next);
+    }
   }
 
   /// Writes as much buffered reply data as the socket takes.  Returns
@@ -613,9 +769,26 @@ struct Server::Impl {
   int listen_fd{-1};
   int stop_fd{-1};
   int completion_fd{-1};
+  int timer_fd{-1};
   int epoll_fd{-1};
   std::uint16_t bound_port{0};
   Clock::time_point start_time;
+
+  /// Overload control.  The controller itself is event-loop-thread-only;
+  /// the atomic mirrors below are the cross-thread read surface (stats,
+  /// metrics exposition) and the worker-side in-flight accounting.
+  OverloadController controller;
+  std::array<std::atomic<std::size_t>, kBudgetClassCount> class_budget{};
+  std::array<std::atomic<std::uint64_t>, kBudgetClassCount> class_in_flight{};
+  std::array<std::atomic<std::uint64_t>, kBudgetClassCount> class_shed{};
+  std::array<std::atomic<std::uint64_t>, kBudgetClassCount> class_expired{};
+  std::array<std::atomic<int>, kBudgetClassCount> class_retry_ms{};
+  std::atomic<std::uint64_t> requests_expired{0};
+  std::atomic<std::uint64_t> controller_ticks{0};
+  /// Previous-tick snapshots (event-loop thread only).
+  std::array<Histogram, kBudgetClassCount> tick_prev_latency{};
+  std::array<std::uint64_t, kBudgetClassCount> tick_prev_requests{};
+  std::array<std::uint64_t, kBudgetClassCount> tick_prev_shed{};
 
   Metrics metrics;
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections;

@@ -14,9 +14,16 @@
 // worker pool (common/thread_pool.hpp), which runs the transport-free
 // Router.  Three protections keep the loop responsive under abuse:
 //
-//  * load shedding -- when dispatched-but-unfinished requests reach
-//    max_in_flight, new requests are answered immediately with
-//    {"ok":false,"error":"overloaded"} instead of queueing without bound;
+//  * load shedding -- per-op-class admission budgets (server/overload.hpp)
+//    plus a global max_in_flight backstop; a request over its class budget
+//    is answered immediately with {"ok":false,"error":"overloaded",
+//    "retry_after_ms":N} instead of queueing without bound.  A timerfd
+//    monitoring tick feeds the OverloadController, which adapts the
+//    budgets (AIMD) to hold each class's p99 latency SLO under overload;
+//  * deadline-aware shedding -- a request carrying "deadline_ms" whose
+//    deadline passed while it sat in the queue is dropped with
+//    {"ok":false,"error":"deadline_expired"} instead of wasting a worker
+//    on a reply nobody will read;
 //  * write backpressure -- a connection whose unsent replies exceed
 //    max_write_buffer stops being read until the peer drains it;
 //  * graceful drain -- request_stop() (thread- and signal-safe) stops
@@ -32,6 +39,7 @@
 #include <string>
 
 #include "server/metrics.hpp"
+#include "server/overload.hpp"
 #include "server/router.hpp"
 
 namespace rmts::server {
@@ -45,8 +53,13 @@ struct ServerConfig {
   /// Worker threads running the Router (>= 1; 0 = hardware concurrency
   /// minus the event-loop thread, at least 1).
   std::size_t workers{0};
-  /// Dispatched-but-unfinished request cap; beyond it requests shed.
+  /// Dispatched-but-unfinished request cap across ALL classes; the
+  /// backstop behind the per-class budgets in `overload`.
   std::size_t max_in_flight{256};
+  /// Per-op-class admission budgets and the feedback controller adapting
+  /// them (adaptive=false freezes budgets at initial_budget -- the
+  /// static-cap baseline).
+  OverloadConfig overload;
   /// Max requests per posted pool task.  Batching amortizes the queue
   /// mutex + wakeup per request; chunking one epoll wave into several
   /// batches keeps every worker busy.

@@ -232,6 +232,57 @@ TEST(Histogram, WeightedRecordMatchesRepeated) {
 
 // ---- concurrent flavour ---------------------------------------------------
 
+// ---- interval deltas ------------------------------------------------------
+
+TEST(Histogram, DeltaSinceRecoversTheIntervalExactly) {
+  // A monotonically growing histogram (e.g. a metrics snapshot) minus an
+  // earlier snapshot of itself is exactly the histogram of the values
+  // recorded in between.
+  Histogram cumulative;
+  Histogram interval_truth;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    cumulative.record(static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 16)));
+  }
+  const Histogram earlier = cumulative;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    cumulative.record(v);
+    interval_truth.record(v);
+  }
+
+  const Histogram delta = cumulative.delta_since(earlier);
+  EXPECT_EQ(delta.counts(), interval_truth.counts());
+  EXPECT_EQ(delta.count(), interval_truth.count());
+  EXPECT_EQ(delta.sum(), interval_truth.sum());
+  // min/max are reconstructed from bucket bounds, so they bracket (and
+  // may widen to) the true extrema's buckets; quantiles stay within the
+  // sketch's precision of the interval's ground truth.
+  EXPECT_LE(delta.min(), interval_truth.min());
+  EXPECT_GE(delta.max(), interval_truth.max());
+  for (const double p : {0.5, 0.9, 0.99}) {
+    const double got = delta.quantile(p);
+    const double want = interval_truth.quantile(p);
+    EXPECT_NEAR(got, want, want * 2.0 * interval_truth.precision() + 1.0)
+        << "p=" << p;
+  }
+}
+
+TEST(Histogram, DeltaSinceOfIdenticalSnapshotsIsEmpty) {
+  Histogram h;
+  h.record(100);
+  h.record(5000);
+  const Histogram delta = h.delta_since(h);
+  EXPECT_EQ(delta.count(), 0u);
+  EXPECT_EQ(delta.sum(), 0u);
+}
+
+TEST(Histogram, DeltaSincePrecisionMismatchThrows) {
+  const Histogram a(5);
+  const Histogram b(4);
+  EXPECT_THROW((void)a.delta_since(b), InvalidConfigError);
+}
+
 TEST(AtomicHistogram, ConcurrentRecordKeepsExactCountAndExtrema) {
   // Regression for the lossy-max pattern: under contention a plain
   // relaxed store can lose the true maximum; the CAS loop must not.

@@ -401,6 +401,78 @@ TEST(ServerTest, GracefulStopAnswersInFlightRequestThenCloses) {
   EXPECT_THROW(client.read_reply(), TransportError);
 }
 
+TEST(ServerTest, DrainFlushesPendingShedRepliesWhileSaturated) {
+  // Regression: a SIGTERM arriving while the server is saturated and busy
+  // shedding must not drop the already-enqueued `overloaded` replies --
+  // the drain waits for every write buffer to flush, so each decoded
+  // request gets its answer before the connection closes.
+  ServerConfig config = test_config();
+  config.workers = 1;
+  config.batch_size = 1;
+  config.max_in_flight = 1;
+  LiveServer server(std::move(config));
+  Client saturator("127.0.0.1", server->port());
+  Client client("127.0.0.1", server->port());
+
+  // Pin the single worker on a slow request (~250 ms: coprime periods
+  // push the robustness bisection to the simulation horizon cap) so the
+  // backstop stays full while the burst arrives.
+  const auto heavy = TaskSet::from_pairs({{12, 97},
+                                          {12, 101},
+                                          {12, 103},
+                                          {13, 107},
+                                          {13, 109},
+                                          {14, 113},
+                                          {15, 127},
+                                          {16, 131},
+                                          {17, 137},
+                                          {17, 139},
+                                          {18, 149},
+                                          {18, 151}});
+  saturator.send_line(make_robustness_request(4, heavy, {}, {}, 8.0));
+  while (server->runtime_stats().batches_dispatched == 0) {
+    std::this_thread::yield();
+  }
+
+  // One pipelined wave: with max_in_flight == 1 every request sheds, and
+  // every shed reply lands in the connection's write buffer.
+  const auto tasks = TaskSet::from_pairs({{1, 4}, {1, 5}});
+  constexpr int kBurst = 16;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    burst += make_admit_request(2, tasks, {}, {}, i);
+    burst += '\n';
+  }
+  client.send_line(burst.substr(0, burst.size() - 1));
+  // Bounded wait for the wave to be decoded and answered (a hang here
+  // would mean lost requests, which the reply count below also catches).
+  const auto decode_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (server->runtime_stats().requests_shed <
+             static_cast<std::uint64_t>(kBurst) &&
+         std::chrono::steady_clock::now() < decode_deadline) {
+    std::this_thread::yield();
+  }
+
+  server->request_stop();
+
+  int shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const JsonValue reply = parse_ok(client.read_reply());
+    if (!reply.find("ok")->as_bool()) {
+      EXPECT_EQ(reply.find("error")->as_string(), "overloaded");
+      EXPECT_GE(reply.find("retry_after_ms")->as_int(), 1);
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0);  // the burst genuinely overlapped the saturation
+
+  // The in-flight slow request drains to completion too, then EOF.
+  EXPECT_TRUE(parse_ok(saturator.read_reply()).find("ok")->as_bool());
+  EXPECT_THROW(client.read_reply(), TransportError);
+  EXPECT_THROW(saturator.read_reply(), TransportError);
+}
+
 TEST(ServerTest, StopIsIdempotentAndRunReturns) {
   ServerConfig config = test_config();
   Server server(std::move(config));

@@ -1,14 +1,22 @@
-// rmts_loadgen: closed-loop load generator for a running rmts_serve.
+// rmts_loadgen: load generator for a running rmts_serve.
 //
 //   rmts_loadgen --port N [--host A] [--connections N] [--seconds S]
 //                [--tasks N] [--processors N] [--util U] [--seed N]
 //                [--alg NAME] [--bound NAME] [--json FILE]
 //                [--mix admit=1,analyze=0,robustness=0,simulate=0,stats=0]
+//                [--qps RATE] [--burst-factor F] [--burst-period S]
+//                [--burst-duration S] [--deadline-ms MS]
+//                [--retry [--max-attempts N]]
 //
-// Each connection keeps exactly one request outstanding (closed loop), so
-// the printed qps is the service's throughput at full utilization.  The
-// driver itself lives in src/server/load.hpp and is shared with
-// bench/bench_e18_server_throughput.  Latency percentiles are interpolated
+// By default each connection keeps exactly one request outstanding
+// (closed loop), so the printed qps is the service's throughput at full
+// utilization.  --qps switches to an open loop: Poisson arrivals at the
+// given aggregate rate, pipelined without waiting for replies, which is
+// how you drive the server past saturation and exercise its overload
+// control (optionally with --burst-* flash crowds, --deadline-ms
+// per-request deadlines, and --retry backoff honoring retry_after_ms).
+// The driver itself lives in src/server/load.hpp and is shared with the
+// bench_e18/bench_e20 benchmarks.  Latency percentiles are interpolated
 // HDR quantiles (relative error <= 3.1%), reported overall and per op
 // class; --json additionally writes the full report as one JSON document.
 #include <cstdint>
@@ -28,7 +36,10 @@ namespace {
             << " --port N [--host A] [--connections N] [--seconds S]"
                " [--tasks N] [--processors N] [--util U] [--seed N]"
                " [--alg NAME] [--bound NAME] [--json FILE]"
-               " [--mix admit=1,stats=0,...]\n";
+               " [--mix admit=1,stats=0,...]"
+               " [--qps RATE] [--burst-factor F] [--burst-period S]"
+               " [--burst-duration S] [--deadline-ms MS]"
+               " [--retry] [--max-attempts N]\n";
   std::exit(2);
 }
 
@@ -58,14 +69,22 @@ std::string report_json(const rmts::server::LoadConfig& config,
   w.value(report.elapsed_seconds);
   w.key("requests");
   w.value(report.requests);
+  w.key("offered");
+  w.value(report.offered);
+  w.key("retries");
+  w.value(report.retries);
   w.key("qps");
   w.value(report.qps());
+  w.key("goodput");
+  w.value(report.goodput());
   w.key("ok");
   w.value(report.ok);
   w.key("accepted");
   w.value(report.accepted);
   w.key("shed");
   w.value(report.shed);
+  w.key("expired");
+  w.value(report.expired);
   w.key("errors");
   w.value(report.errors);
   w.key("transport_errors");
@@ -81,6 +100,8 @@ std::string report_json(const rmts::server::LoadConfig& config,
     if (h.count() == 0) continue;
     w.key(rmts::server::op_class_name(static_cast<OpClass>(op)));
     w.begin_object();
+    w.key("ok");
+    w.value(report.per_op_ok[op]);
     write_quantiles(w, h);
     w.end_object();
   }
@@ -151,6 +172,20 @@ int main(int argc, char** argv) {
       config.bound = next();
     } else if (flag == "--mix") {
       config.mix = parse_mix(next(), argv[0]);
+    } else if (flag == "--qps") {
+      config.offered_qps = std::atof(next().c_str());
+    } else if (flag == "--burst-factor") {
+      config.burst_factor = std::atof(next().c_str());
+    } else if (flag == "--burst-period") {
+      config.burst_period_s = std::atof(next().c_str());
+    } else if (flag == "--burst-duration") {
+      config.burst_duration_s = std::atof(next().c_str());
+    } else if (flag == "--deadline-ms") {
+      config.deadline_ms = std::atoll(next().c_str());
+    } else if (flag == "--retry") {
+      config.retry = true;
+    } else if (flag == "--max-attempts") {
+      config.max_attempts = std::atoi(next().c_str());
     } else if (flag == "--json") {
       json_path = next();
     } else {
@@ -163,11 +198,17 @@ int main(int argc, char** argv) {
     const rmts::server::LoadReport report = rmts::server::run_load(config);
     std::cout << "rmts_loadgen: " << report.requests << " requests in "
               << report.elapsed_seconds << " s over " << config.connections
-              << " connections\n"
-              << "  qps        " << report.qps() << '\n'
+              << " connections"
+              << (config.offered_qps > 0.0 ? " (open loop)" : " (closed loop)")
+              << '\n'
+              << "  offered    " << report.offered << " (+" << report.retries
+              << " retries)\n"
+              << "  qps        " << report.qps() << " (goodput "
+              << report.goodput() << ")\n"
               << "  ok         " << report.ok << " (" << report.accepted
               << " accepted)\n"
-              << "  shed       " << report.shed << '\n'
+              << "  shed       " << report.shed << " (" << report.expired
+              << " deadline-expired)\n"
               << "  errors     " << report.errors << " protocol, "
               << report.transport_errors << " transport\n"
               << "  latency_us p50=" << report.percentile_micros(0.50)

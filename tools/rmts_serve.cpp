@@ -2,7 +2,10 @@
 //
 //   rmts_serve [--host A] [--port N] [--workers N] [--max-in-flight N]
 //              [--batch-size N] [--max-connections N] [--max-tasks N]
-//              [--drain-timeout-ms N]
+//              [--drain-timeout-ms N] [--static-budgets]
+//              [--initial-budget N] [--min-budget N] [--max-budget N]
+//              [--slo-interval-ms N] [--slo-admit-us N] [--slo-analyze-us N]
+//              [--slo-robustness-us N] [--slo-simulate-us N]
 //
 // Binds (port 0 = ephemeral), prints exactly one line
 //   rmts_serve listening on HOST:PORT
@@ -10,6 +13,11 @@
 // SIGTERM triggers a graceful drain: stop accepting, finish every
 // in-flight request, flush every reply, exit 0.  The wire protocol is
 // documented in src/server/protocol.hpp.
+//
+// Overload control (src/server/overload.hpp): per-op-class admission
+// budgets adapt every --slo-interval-ms to hold the per-class p99 SLOs;
+// --static-budgets freezes them at --initial-budget (the fixed-cap
+// baseline the E20 bench compares against).
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -30,7 +38,10 @@ extern "C" void handle_stop_signal(int) {
   std::cerr << "usage: " << argv0
             << " [--host A] [--port N] [--workers N] [--max-in-flight N]"
                " [--batch-size N] [--max-connections N] [--max-tasks N]"
-               " [--drain-timeout-ms N]\n";
+               " [--drain-timeout-ms N] [--static-budgets]"
+               " [--initial-budget N] [--min-budget N] [--max-budget N]"
+               " [--slo-interval-ms N] [--slo-admit-us N] [--slo-analyze-us N]"
+               " [--slo-robustness-us N] [--slo-simulate-us N]\n";
   std::exit(2);
 }
 
@@ -61,6 +72,28 @@ int main(int argc, char** argv) {
       config.router.max_tasks = std::stoul(next());
     } else if (flag == "--drain-timeout-ms") {
       config.drain_timeout_ms = std::stoi(next());
+    } else if (flag == "--static-budgets") {
+      config.overload.adaptive = false;
+    } else if (flag == "--initial-budget") {
+      config.overload.initial_budget = std::stoul(next());
+    } else if (flag == "--min-budget") {
+      config.overload.min_budget = std::stoul(next());
+    } else if (flag == "--max-budget") {
+      config.overload.max_budget = std::stoul(next());
+    } else if (flag == "--slo-interval-ms") {
+      config.overload.interval_ms = std::stoi(next());
+    } else if (flag == "--slo-admit-us") {
+      config.overload.slo_p99_us[static_cast<std::size_t>(
+          rmts::server::BudgetClass::kAdmit)] = std::stoull(next());
+    } else if (flag == "--slo-analyze-us") {
+      config.overload.slo_p99_us[static_cast<std::size_t>(
+          rmts::server::BudgetClass::kAnalyze)] = std::stoull(next());
+    } else if (flag == "--slo-robustness-us") {
+      config.overload.slo_p99_us[static_cast<std::size_t>(
+          rmts::server::BudgetClass::kRobustness)] = std::stoull(next());
+    } else if (flag == "--slo-simulate-us") {
+      config.overload.slo_p99_us[static_cast<std::size_t>(
+          rmts::server::BudgetClass::kSimulate)] = std::stoull(next());
     } else {
       usage(argv[0]);
     }
@@ -85,7 +118,8 @@ int main(int argc, char** argv) {
     const auto stats = server.runtime_stats();
     std::cout << "rmts_serve drained: " << server.metrics().total_requests()
               << " requests, " << stats.connections_accepted
-              << " connections, " << stats.requests_shed << " shed\n";
+              << " connections, " << stats.requests_shed << " shed, "
+              << stats.requests_expired << " expired\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "rmts_serve: " << e.what() << '\n';
