@@ -125,14 +125,15 @@ RetryResult Client::request_with_retry(std::string_view line,
       result.attempts_exhausted = true;
       return result;
     }
-    // Exponential backoff from the policy, but never retry sooner than the
-    // server asked; jitter decorrelates a fleet of clients so the retries
-    // don't arrive as a fresh synchronized burst.
+    // Exponential backoff from the policy, capped at max_backoff_ms and
+    // jittered so a fleet of clients decorrelates instead of re-bursting
+    // in lockstep.  The server's hint is applied LAST, as a floor the cap
+    // never truncates: max_backoff_ms bounds the client's own impatience,
+    // not how long the server asked it to stay away.
     std::int64_t backoff_ms = policy.base_backoff_ms;
     for (int k = 1; k < attempt && backoff_ms < policy.max_backoff_ms; ++k) {
       backoff_ms *= 2;
     }
-    backoff_ms = std::max<std::int64_t>(backoff_ms, hint_ms);
     backoff_ms =
         std::min<std::int64_t>(backoff_ms, std::max(policy.max_backoff_ms, 1));
     const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
@@ -140,6 +141,7 @@ RetryResult Client::request_with_retry(std::string_view line,
         1.0 + jitter * (2.0 * retry_rng_.uniform() - 1.0);
     backoff_ms = std::max<std::int64_t>(
         1, static_cast<std::int64_t>(static_cast<double>(backoff_ms) * factor));
+    backoff_ms = std::max<std::int64_t>(backoff_ms, hint_ms);
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     result.backoff_total_ms += backoff_ms;
   }

@@ -41,9 +41,12 @@ struct RetryPolicy {
   /// Total tries including the first; <= 1 disables retrying.
   int max_attempts{4};
   /// Backoff before retry k (1-based) is
-  ///   max(server retry_after_ms hint, base_backoff_ms * 2^(k-1)),
-  /// capped at max_backoff_ms, then scaled by a uniform jitter factor in
-  /// [1 - jitter, 1 + jitter].
+  ///   max(server retry_after_ms hint,
+  ///       jittered min(base_backoff_ms * 2^(k-1), max_backoff_ms)),
+  /// where the jitter scales the client's own exponential term by a
+  /// uniform factor in [1 - jitter, 1 + jitter].  max_backoff_ms caps
+  /// only that term: the server's hint is always honored in full, so the
+  /// client never retries sooner than the server asked.
   int base_backoff_ms{10};
   int max_backoff_ms{2000};
   double jitter{0.3};

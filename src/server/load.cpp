@@ -78,18 +78,20 @@ Picked pick_request(Rng& rng, const std::vector<OpRequests>& ops,
 
 /// Exponential backoff before resend attempt `next_attempt` (2-based:
 /// the first resend is attempt 2), never sooner than the server's hint,
-/// jittered so a fleet of connections decorrelates.
+/// jittered so a fleet of connections decorrelates.  As in
+/// Client::request_with_retry, max_backoff_ms caps only the driver's own
+/// exponential term -- the server's hint is honored in full.
 std::int64_t retry_backoff_ms(const RetryPolicy& policy, int next_attempt,
                               int hint_ms, Rng& rng) {
   std::int64_t backoff = policy.base_backoff_ms;
   for (int k = 2; k < next_attempt && backoff < policy.max_backoff_ms; ++k) {
     backoff *= 2;
   }
-  backoff = std::max<std::int64_t>(backoff, hint_ms);
   backoff = std::min<std::int64_t>(backoff, std::max(policy.max_backoff_ms, 1));
   const double factor = 1.0 + policy.jitter * (2.0 * rng.uniform() - 1.0);
-  return std::max<std::int64_t>(
+  backoff = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(static_cast<double>(backoff) * factor));
+  return std::max<std::int64_t>(backoff, hint_ms);
 }
 
 /// Poisson arrival state for one open-loop sender: draws exponential

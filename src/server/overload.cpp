@@ -27,6 +27,27 @@ std::size_t skip_colon(std::string_view text, std::size_t pos) noexcept {
   return skip_ws(text, pos + 1);
 }
 
+/// Scans a JSON string whose opening quote sits at `pos`; sets `body` to
+/// the raw (still-escaped) contents and returns the index just past the
+/// closing quote, or npos when the string never terminates.
+std::size_t scan_string(std::string_view text, std::size_t pos,
+                        std::string_view& body) noexcept {
+  const std::size_t begin = pos + 1;
+  std::size_t i = begin;
+  while (i < text.size()) {
+    if (text[i] == '\\') {
+      i += 2;
+      continue;
+    }
+    if (text[i] == '"') {
+      body = text.substr(begin, i - begin);
+      return i + 1;
+    }
+    ++i;
+  }
+  return std::string_view::npos;
+}
+
 }  // namespace
 
 std::string_view budget_class_name(BudgetClass cls) noexcept {
@@ -122,17 +143,46 @@ const std::array<std::size_t, kBudgetClassCount>& OverloadController::tick(
 
 RequestPeek peek_request(std::string_view line) noexcept {
   RequestPeek peek;
-
-  // --- op class ---------------------------------------------------------
-  const std::size_t op_key = line.find("\"op\"");
-  if (op_key != std::string_view::npos) {
-    std::size_t pos = skip_colon(line, op_key + 4);
-    if (pos != std::string_view::npos && pos < line.size() &&
-        line[pos] == '"') {
-      const std::size_t begin = pos + 1;
-      const std::size_t end = line.find('"', begin);
-      if (end != std::string_view::npos) {
-        const std::string_view op = line.substr(begin, end - begin);
+  // One pass over the top level of the JSON object, tracking nesting
+  // depth and tokenizing strings (with escape handling) so "op" or
+  // "deadline_ms" occurring inside a string VALUE or a nested container
+  // can never match: only a depth-1 string followed by ':' is a key.
+  // That anchoring matters for deadline_ms -- a spurious match would make
+  // a worker drop a valid request as deadline_expired, a semantic change
+  // the strict worker-side parse never gets to correct.
+  std::size_t pos = skip_ws(line, 0);
+  if (pos >= line.size() || line[pos] != '{') return peek;
+  ++pos;
+  int depth = 1;
+  while (pos < line.size() && depth > 0) {
+    const char c = line[pos];
+    if (c == '{' || c == '[') {
+      ++depth;
+      ++pos;
+      continue;
+    }
+    if (c == '}' || c == ']') {
+      --depth;
+      ++pos;
+      continue;
+    }
+    if (c != '"') {
+      ++pos;
+      continue;
+    }
+    std::string_view body;
+    pos = scan_string(line, pos, body);
+    if (pos == std::string_view::npos) return peek;  // unterminated string
+    if (depth != 1) continue;  // nested strings are never top-level keys
+    const std::size_t value = skip_colon(line, pos);
+    if (value == std::string_view::npos) continue;  // a value, not a key
+    pos = value;
+    if (body == "op") {
+      if (pos < line.size() && line[pos] == '"') {
+        std::string_view op;
+        const std::size_t end = scan_string(line, pos, op);
+        if (end == std::string_view::npos) return peek;
+        pos = end;
         if (op == "admit") {
           peek.cls = BudgetClass::kAdmit;
           peek.budgeted = true;
@@ -148,25 +198,20 @@ RequestPeek peek_request(std::string_view line) noexcept {
         }
         // stats / metrics / anything else: un-budgeted.
       }
-    }
-  }
-
-  // --- client deadline --------------------------------------------------
-  const std::size_t dl_key = line.find("\"deadline_ms\"");
-  if (dl_key != std::string_view::npos) {
-    std::size_t pos = skip_colon(line, dl_key + 13);
-    if (pos != std::string_view::npos) {
-      std::int64_t value = 0;
+    } else if (body == "deadline_ms") {
+      std::int64_t value_ms = 0;
       bool any = false;
       while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9' &&
-             value < (std::int64_t{1} << 40)) {
-        value = value * 10 + (line[pos] - '0');
+             value_ms < (std::int64_t{1} << 40)) {
+        value_ms = value_ms * 10 + (line[pos] - '0');
         any = true;
         ++pos;
       }
       // Saturate absurd values (a ~35-year deadline is "no deadline").
-      if (any) peek.deadline_ms = std::min(value, std::int64_t{1} << 40);
+      if (any) peek.deadline_ms = std::min(value_ms, std::int64_t{1} << 40);
     }
+    // Any other key: pos sits at its value, which the depth/string
+    // tracking above walks over like any other token.
   }
   return peek;
 }

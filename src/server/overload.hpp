@@ -33,9 +33,12 @@
 //  * peek_request(line) -- a cheap single-pass scan of a decoded line for
 //    its op class and optional "deadline_ms" field.  The event loop must
 //    classify BEFORE dispatch (the real JSON parse happens on a worker),
-//    so the peek is deliberately tolerant: if it misreads a hostile line,
-//    the only consequence is which budget gates it -- the worker's strict
-//    parse still decides semantics.
+//    so the peek does not validate -- but it IS anchored to top-level
+//    keys (it tracks nesting depth and tokenizes strings), because a
+//    "deadline_ms" matched inside a string value or nested object would
+//    not merely misroute a budget: it would make a worker drop a valid
+//    request as deadline_expired.  On garbage that never parses anyway,
+//    the worker's strict parse still decides semantics.
 #pragma once
 
 #include <array>
@@ -150,8 +153,10 @@ struct RequestPeek {
   std::int64_t deadline_ms{0};
 };
 
-/// Single-pass scan for `"op"` and `"deadline_ms"`.  Never throws; a line
-/// it cannot read returns an un-budgeted peek.
+/// Single-pass scan for the top-level `"op"` and `"deadline_ms"` keys
+/// (depth-anchored: occurrences inside string values or nested containers
+/// never match).  Never throws; a line it cannot read returns an
+/// un-budgeted peek.
 [[nodiscard]] RequestPeek peek_request(std::string_view line) noexcept;
 
 /// Renders {"ok":false,"error":"overloaded","retry_after_ms":N} (no

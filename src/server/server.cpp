@@ -77,11 +77,15 @@ struct Connection {
   /// workers in either order -- and decode-time replies (sheds, oversized
   /// lines) are produced before earlier pooled requests finish.  Every
   /// reply therefore claims the next seq at decode time; completions
-  /// ahead of deliver_next wait in held until the gap fills (bounded by
-  /// max_in_flight, and empty whenever pending == 0).
+  /// ahead of deliver_next wait in held until the gap fills (empty
+  /// whenever pending == 0).  held is NOT bounded by max_in_flight: a
+  /// client pinning one slow admitted request while streaming sheddable
+  /// lines grows it at network ingest rate, so held_bytes counts into the
+  /// write-backpressure gate (update_interest) exactly like unsent().
   std::uint64_t seq_next{0};
   std::uint64_t deliver_next{0};
   std::map<std::uint64_t, std::string> held;
+  std::size_t held_bytes{0};
   bool read_closed{false};
   /// Interest currently registered with epoll.
   bool want_read{true};
@@ -475,8 +479,12 @@ struct Server::Impl {
           config.max_in_flight;
       if (over_budget || over_backstop) {
         requests_shed.fetch_add(1, std::memory_order_relaxed);
+        // class_shed (and the class drain-time hint) belong to budget
+        // sheds only: the controller reads sample.shed as "this class's
+        // budget was binding", so a shed caused purely by the global
+        // backstop must not ratchet that class's budget upward.
         int hint = controller.config().interval_ms;
-        if (peek.budgeted) {
+        if (over_budget) {
           class_shed[cls_index].fetch_add(1, std::memory_order_relaxed);
           hint = controller.retry_after_ms(peek.cls);
         }
@@ -682,6 +690,7 @@ struct Server::Impl {
   void enqueue_ordered(Connection& conn, std::uint64_t seq,
                        const std::string& reply) {
     if (seq != conn.deliver_next) {
+      conn.held_bytes += reply.size();
       conn.held.emplace(seq, reply);
       return;
     }
@@ -690,6 +699,7 @@ struct Server::Impl {
     auto next = conn.held.begin();
     while (next != conn.held.end() && next->first == conn.deliver_next) {
       enqueue_reply(conn, next->second);
+      conn.held_bytes -= next->second.size();
       conn.deliver_next += 1;
       next = conn.held.erase(next);
     }
@@ -742,8 +752,11 @@ struct Server::Impl {
   }
 
   void update_interest(Connection& conn) {
+    // Backpressure counts parked ordered replies (held_bytes) along with
+    // the flushable tail: both are memory the peer forces us to retain.
     const bool want_read = !draining && !conn.read_closed &&
-                           conn.unsent() < config.max_write_buffer;
+                           conn.unsent() + conn.held_bytes <
+                               config.max_write_buffer;
     const bool want_write = conn.unsent() != 0;
     if (want_read == conn.want_read && want_write == conn.want_write) return;
     conn.want_read = want_read;

@@ -236,6 +236,31 @@ TEST(PeekRequest, ExtractsDeadline) {
   EXPECT_LT(big.deadline_ms, std::int64_t{1} << 41);
 }
 
+TEST(PeekRequest, KeysInsideValuesOrNestedObjectsNeverMatch) {
+  // "deadline_ms" as a nested-object key must not arm the deadline drop:
+  // a spurious match would make a worker discard a valid request as
+  // deadline_expired, which the strict parse never gets to correct.
+  EXPECT_EQ(
+      peek_request(R"({"op":"admit","meta":{"deadline_ms":5}})").deadline_ms,
+      0);
+  // ...nor as a string VALUE, even one crafted to look like a key.
+  EXPECT_EQ(peek_request(R"({"op":"admit","alg":"deadline_ms"})").deadline_ms,
+            0);
+  EXPECT_EQ(peek_request(R"({"note":"x \"deadline_ms\": 9","op":"admit"})")
+                .deadline_ms,
+            0);
+  // "op" nested or quoted inside a value must not classify the line.
+  EXPECT_FALSE(peek_request(R"({"meta":{"op":"admit"}})").budgeted);
+  EXPECT_FALSE(peek_request(R"({"note":"\"op\":\"admit\""})").budgeted);
+  // The real top-level keys still win with every decoy present at once.
+  const RequestPeek peek = peek_request(
+      R"({"note":"\"deadline_ms\": 7","meta":{"op":"simulate"},)"
+      R"("op":"analyze","deadline_ms":31})");
+  EXPECT_TRUE(peek.budgeted);
+  EXPECT_EQ(peek.cls, BudgetClass::kAnalyze);
+  EXPECT_EQ(peek.deadline_ms, 31);
+}
+
 TEST(PeekRequest, MatchesTheBuiltRequests) {
   const auto tasks = TaskSet::from_pairs({{1, 4}, {1, 5}});
   const RequestPeek peek =
@@ -360,14 +385,73 @@ TEST(OverloadLive, TightSloShrinksBudgetUnderSustainedLoad) {
   EXPECT_GT(server->runtime_stats().classes[kAdmitIdx].shed, 0u);
 }
 
+TEST(OverloadLive, HeldOrderedRepliesCountTowardBackpressure) {
+  // Regression: shed replies claim sequence slots at decode time, so on a
+  // connection whose earlier slow requests are still in the pool they park
+  // in the reorder buffer (`held`) rather than the flushable write buffer.
+  // The write-backpressure gate must count those parked bytes -- gating on
+  // unsent() alone let a client pin one slow request and then stream lines,
+  // growing held at network ingest rate without ever tripping the cap.
+  ServerConfig config;
+  config.port = 0;
+  config.workers = 1;
+  config.batch_size = 1;
+  config.max_in_flight = 3;           // the three pinned requests fill it
+  config.max_write_buffer = 8 << 10;  // small cap so the gate trips fast
+  LiveServer server(config);
+  Client client("127.0.0.1", server->port(), /*timeout_ms=*/250);
+
+  // Pin the single worker and the backstop with slow requests on THIS
+  // connection: their replies own sequence slots 0..2, so every shed
+  // reply behind them is parked, not flushed.
+  for (int i = 0; i < 3; ++i) client.send_line(slow_request());
+  while (server->runtime_stats().in_flight < 3) std::this_thread::yield();
+
+  // Stream sheddable lines without reading a single reply.
+  const auto tasks = TaskSet::from_pairs({{1, 4}, {1, 5}});
+  const std::string admit = make_admit_request(2, tasks);
+  constexpr int kOffered = 6000;
+  for (int i = 0; i < kOffered; ++i) {
+    try {
+      client.send_line(admit);
+    } catch (const TransportError&) {
+      break;  // socket buffers filled: backpressure reached the sender
+    }
+  }
+
+  // The burst lands in socket buffers faster than the loop decodes it;
+  // wait for the shed counter to plateau (reads stopped) before judging.
+  std::uint64_t prev_shed = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::uint64_t now = server->runtime_stats().requests_shed;
+    if (now > 0 && now == prev_shed) break;
+    prev_shed = now;
+  }
+
+  const RuntimeStats stats = server->runtime_stats();
+  // The pinned requests must still be holding the sequence gap open for
+  // the bound below to be meaningful (the send phase takes well under one
+  // slow-request compute time).
+  ASSERT_GT(stats.in_flight, 0u) << "pinned slow requests finished early";
+  EXPECT_GT(stats.requests_shed, 0u);
+  // Reads must stop once ~max_write_buffer bytes are parked: the server
+  // sheds far fewer lines than offered.  Without held accounting it keeps
+  // decoding and sheds nearly all of them.
+  EXPECT_LT(stats.requests_shed, kOffered / 2);
+}
+
 TEST(OverloadLive, QueuedRequestPastItsDeadlineIsDropped) {
   ServerConfig config;
   config.port = 0;
   config.workers = 1;  // one slow request blocks the pool
   config.batch_size = 1;
   LiveServer server(config);
-  Client saturator("127.0.0.1", server->port());
-  Client client("127.0.0.1", server->port());
+  // Generous receive timeouts: the pinned request runs ~250 ms natively
+  // but several seconds under a sanitizer on a small machine, and the
+  // queued reply only arrives once it finishes.
+  Client saturator("127.0.0.1", server->port(), /*timeout_ms=*/30'000);
+  Client client("127.0.0.1", server->port(), /*timeout_ms=*/30'000);
 
   saturator.send_line(slow_request());
   while (server->runtime_stats().batches_dispatched == 0) {
@@ -400,8 +484,8 @@ TEST(OverloadLive, RetryingClientRidesOutSaturation) {
   config.max_in_flight = 1;  // backstop: anything behind the slow one sheds
   config.overload.interval_ms = 10;
   LiveServer server(config);
-  Client saturator("127.0.0.1", server->port());
-  Client client("127.0.0.1", server->port(), 5000, /*seed=*/7);
+  Client saturator("127.0.0.1", server->port(), /*timeout_ms=*/30'000);
+  Client client("127.0.0.1", server->port(), 30'000, /*seed=*/7);
 
   saturator.send_line(slow_request());
   while (server->runtime_stats().batches_dispatched == 0) {

@@ -410,9 +410,13 @@ TEST(ServerTest, DrainFlushesPendingShedRepliesWhileSaturated) {
   config.workers = 1;
   config.batch_size = 1;
   config.max_in_flight = 1;
+  // The pinned request below runs ~250 ms natively but several seconds
+  // under TSan on a loaded single-core box; the drain must outlast it or
+  // the deadline force-closes the sockets this test asserts are flushed.
+  config.drain_timeout_ms = 30'000;
   LiveServer server(std::move(config));
-  Client saturator("127.0.0.1", server->port());
-  Client client("127.0.0.1", server->port());
+  Client saturator("127.0.0.1", server->port(), /*timeout_ms=*/30'000);
+  Client client("127.0.0.1", server->port(), /*timeout_ms=*/30'000);
 
   // Pin the single worker on a slow request (~250 ms: coprime periods
   // push the robustness bisection to the simulation horizon cap) so the
@@ -444,15 +448,20 @@ TEST(ServerTest, DrainFlushesPendingShedRepliesWhileSaturated) {
     burst += '\n';
   }
   client.send_line(burst.substr(0, burst.size() - 1));
-  // Bounded wait for the wave to be decoded and answered (a hang here
-  // would mean lost requests, which the reply count below also catches).
+  // Bounded wait for the wave to be decoded and answered; generous
+  // because a sanitized worker starves the event loop on small machines.
+  // Requests still undecoded at request_stop() are silently dropped, so
+  // proceeding early would void the flushed-reply count below.
   const auto decode_deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
   while (server->runtime_stats().requests_shed <
              static_cast<std::uint64_t>(kBurst) &&
          std::chrono::steady_clock::now() < decode_deadline) {
     std::this_thread::yield();
   }
+  ASSERT_GE(server->runtime_stats().requests_shed,
+            static_cast<std::uint64_t>(kBurst))
+      << "burst not fully decoded before stop";
 
   server->request_stop();
 
