@@ -34,12 +34,34 @@ inline void banner(const std::string& id, const std::string& claim,
             << "# workload: " << workload << '\n';
 }
 
+// Compile flags CMake handed the bench binaries (rmts_bench injects the
+// definition); empty when built outside that function.
+#ifndef RMTS_BENCH_FLAGS
+#define RMTS_BENCH_FLAGS ""
+#endif
+
 namespace detail {
 
 /// JSON string escaping for non-numeric cells: the shared escaper from
 /// common/json.hpp, which also covers control characters so BENCH_e*.json
 /// stays valid JSON for any cell content.
 using rmts::json_escape;
+
+/// Host CPU model from /proc/cpuinfo, so committed BENCH_*.json numbers
+/// carry the machine they were measured on.
+inline std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      const std::size_t first = line.find_first_not_of(" \t", colon + 1);
+      if (first != std::string::npos) return line.substr(first);
+    }
+  }
+  return "unknown";
+}
 
 /// Emits a cell as a bare JSON number when it parses as one, else as a
 /// string, so plotting scripts get typed values without a schema.  "inf"
@@ -78,7 +100,10 @@ class JsonReport {
     std::ofstream json(path);
     json << "{\n  \"experiment\": \"" << detail::json_escape(experiment_)
          << "\",\n  \"description\": \"" << detail::json_escape(description_)
-         << "\"";
+         << "\",\n  \"environment\": {\"compiler\": \""
+         << detail::json_escape(__VERSION__) << "\", \"flags\": \""
+         << detail::json_escape(RMTS_BENCH_FLAGS) << "\", \"cpu\": \""
+         << detail::json_escape(detail::cpu_model()) << "\"}";
     for (const auto& [name, table] : tables_) {
       json << ",\n  \"" << detail::json_escape(name) << "\": [\n";
       const auto& header = table.header();

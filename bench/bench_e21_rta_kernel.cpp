@@ -1,0 +1,237 @@
+// E21: SoA RTA kernel speedup -- the division-free structure-of-arrays
+// time-demand loop (rta/rta_kernel.hpp) vs the scalar admission scan it
+// replaced, on the admission workload from E8's BM_AdmissionScan.
+//
+// Three paths probe the same hosted processors with the same candidates:
+//
+//  * scalar: the pre-kernel ProcessorState::fits body verbatim -- checked
+//    response_time / response_time_with over the AoS subtask span, seeded
+//    from the memoized candidate-free responses;
+//  * kernel: ProcessorState::fits as shipped, routed through kernel_fits;
+//  * batch:  ProcessorState::fits_batch, one call for all candidates.
+//
+// Every probe's verdict is cross-checked across the paths before timing
+// (a disagreement aborts the run), so the numbers can only come from
+// bit-identical decisions.  Runs are interleaved scalar/kernel/batch per
+// repetition and the median ns/probe over repetitions is reported.
+// `--smoke` shrinks sizes and repetitions to a ~1s plumbing check for the
+// ctest registration; it validates agreement, not the speedup target.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "partition/processor_state.hpp"
+#include "rta/rta.hpp"
+#include "rta/rta_kernel.hpp"
+
+namespace {
+
+using namespace rmts;
+
+/// Deterministic hosted processor with `count` moderately loaded subtasks
+/// (the E8 BM_AdmissionScan generator, so speedups compare directly).
+ProcessorState hosted_processor(std::size_t count) {
+  Rng rng(1234);
+  ProcessorState processor;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Time period = rng.uniform_int(1000, 1000000);
+    const Subtask s{i * 2 + 1,
+                    static_cast<TaskId>(i),
+                    0,
+                    std::max<Time>(1, period / (2 * static_cast<Time>(count))),
+                    period,
+                    period,
+                    SubtaskKind::kWhole};
+    if (processor.fits(s)) processor.add(s);
+  }
+  return processor;
+}
+
+std::vector<Subtask> candidate_probes(std::size_t count) {
+  Rng rng(777);
+  std::vector<Subtask> candidates;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const Time period = rng.uniform_int(1000, 1000000);
+    candidates.push_back(Subtask{2 * (i % (count + 1)),  // interleaved ranks
+                                 static_cast<TaskId>(1000 + i), 0,
+                                 std::max<Time>(1, period / 8), period, period,
+                                 SubtaskKind::kWhole});
+  }
+  return candidates;
+}
+
+/// The pre-kernel ProcessorState::fits body: scalar checked RTA over the
+/// AoS span, seeded from the memoized candidate-free responses in `seeds`
+/// (kTimeInfinity marks a known miss).  Trace plumbing dropped -- it was
+/// identical on both sides of the comparison.
+bool scalar_fits(std::span<const Subtask> subtasks, std::span<const Time> seeds,
+                 const Subtask& candidate) {
+  const auto pos_it = std::lower_bound(
+      subtasks.begin(), subtasks.end(), candidate,
+      [](const Subtask& a, const Subtask& b) { return a.priority < b.priority; });
+  const auto pos = static_cast<std::size_t>(pos_it - subtasks.begin());
+  const RtaOutcome own =
+      response_time(candidate.wcet, candidate.deadline, subtasks.first(pos));
+  if (!own.schedulable) return false;
+  for (std::size_t i = pos; i < subtasks.size(); ++i) {
+    if (seeds[i] == kTimeInfinity) return false;  // miss stays a miss
+    const RtaOutcome seeded =
+        response_time_with(subtasks[i].wcet, subtasks[i].deadline,
+                           subtasks.first(i), candidate, seeds[i]);
+    if (!seeded.schedulable) return false;
+  }
+  return true;
+}
+
+/// Seconds of wall time spent in `body()`.
+template <typename Body>
+double seconds(Body&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+std::string format_ns(double ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", ns);
+  return buffer;
+}
+
+std::string format_speedup(double factor) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", factor);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::vector<std::size_t> hosted_sizes =
+      smoke ? std::vector<std::size_t>{8, 32}
+            : std::vector<std::size_t>{8, 32, 128};
+  const int repetitions = smoke ? 5 : 25;
+  const int sweeps = smoke ? 20 : 200;  // candidate sweeps per measurement
+
+  bench::banner("E21 RTA kernel",
+                "SoA division-free admission ~2x the scalar seeded scan at "
+                "hosted=8 and 2.7-3.3x beyond, bit-identical verdicts",
+                "E8 BM_AdmissionScan workload: hosted in {8,32,128}, 64 "
+                "candidate probes each");
+
+  Table table({"hosted", "path", "ns_per_probe", "speedup_vs_scalar"});
+
+  for (const std::size_t count : hosted_sizes) {
+    const ProcessorState processor = hosted_processor(count);
+    const std::vector<Subtask> candidates = candidate_probes(count);
+    const auto subtasks = processor.subtasks();
+
+    // Memoized candidate-free responses for the scalar replica, computed
+    // exactly as the admission cache holds them (kTimeInfinity on a miss;
+    // the generator only add()s admitted subtasks, so none here).
+    std::vector<Time> seeds(subtasks.size());
+    for (std::size_t i = 0; i < subtasks.size(); ++i) {
+      const RtaOutcome out = response_time(subtasks[i].wcet,
+                                           subtasks[i].deadline,
+                                           subtasks.first(i));
+      seeds[i] = out.schedulable ? out.response : kTimeInfinity;
+    }
+
+    // Agreement tripwire: all three paths, every candidate, before timing.
+    std::vector<KernelFit> verdicts(candidates.size());
+    processor.fits_batch(candidates, verdicts);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const bool scalar = scalar_fits(subtasks, seeds, candidates[c]);
+      const bool kernel = processor.fits(candidates[c]);
+      if (scalar != kernel || scalar != verdicts[c].fits) {
+        std::cerr << "verdict disagreement at hosted=" << count
+                  << " candidate=" << c << ": scalar=" << scalar
+                  << " kernel=" << kernel << " batch=" << verdicts[c].fits
+                  << '\n';
+        return 1;
+      }
+    }
+
+    // Workload characterization (stderr, not part of the report): how much
+    // fixed-point work one warmed probe actually does -- context for the
+    // ns/probe numbers below.
+    {
+      std::uint64_t iters = 0, seeded = 0, admitted = 0;
+      for (const KernelFit& v : verdicts) {
+        iters += v.iterations; seeded += v.seeded_calls; admitted += v.fits;
+      }
+      std::cerr << "hosted=" << count << " iters/probe="
+                << double(iters) / 64 << " seeded/probe="
+                << double(seeded) / 64 << " admitted=" << admitted << "/64\n";
+    }
+    // Interleaved measurements; DoNotOptimize-style sink via volatile.
+    std::vector<double> scalar_ns;
+    std::vector<double> kernel_ns;
+    std::vector<double> batch_ns;
+    volatile std::size_t sink = 0;
+    const double per_probe =
+        1e9 / (static_cast<double>(sweeps) *
+               static_cast<double>(candidates.size()));
+    for (int rep = 0; rep < repetitions; ++rep) {
+      scalar_ns.push_back(per_probe * seconds([&] {
+        std::size_t admitted = 0;
+        for (int s = 0; s < sweeps; ++s) {
+          for (const Subtask& candidate : candidates) {
+            admitted += scalar_fits(subtasks, seeds, candidate) ? 1u : 0u;
+          }
+        }
+        sink = sink + admitted;
+      }));
+      kernel_ns.push_back(per_probe * seconds([&] {
+        std::size_t admitted = 0;
+        for (int s = 0; s < sweeps; ++s) {
+          for (const Subtask& candidate : candidates) {
+            admitted += processor.fits(candidate) ? 1u : 0u;
+          }
+        }
+        sink = sink + admitted;
+      }));
+      batch_ns.push_back(per_probe * seconds([&] {
+        std::size_t admitted = 0;
+        for (int s = 0; s < sweeps; ++s) {
+          processor.fits_batch(candidates, verdicts);
+          for (const KernelFit& v : verdicts) admitted += v.fits ? 1u : 0u;
+        }
+        sink = sink + admitted;
+      }));
+    }
+
+    const double scalar_median = median(scalar_ns);
+    table.add_row({std::to_string(count), "scalar",
+                   format_ns(scalar_median), "1.00"});
+    table.add_row({std::to_string(count), "kernel", format_ns(median(kernel_ns)),
+                   format_speedup(scalar_median / median(kernel_ns))});
+    table.add_row({std::to_string(count), "batch", format_ns(median(batch_ns)),
+                   format_speedup(scalar_median / median(batch_ns))});
+  }
+
+  table.print_text(std::cout, "E21: admission ns/probe, kernel vs scalar");
+
+  bench::JsonReport report(
+      "e21", "SoA RTA kernel vs scalar seeded admission scan, ns per probe "
+             "(median over interleaved repetitions), E8 admission workload");
+  report.add_table("rows", table);
+  report.write();
+  return 0;
+}

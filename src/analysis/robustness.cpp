@@ -5,18 +5,13 @@
 #include <utility>
 
 #include "analysis/sensitivity.hpp"
-#include "common/checked_math.hpp"
 #include "common/error.hpp"
 #include "rta/rta.hpp"
+#include "rta/rta_kernel.hpp"
 
 namespace rmts {
 
 namespace {
-
-Time add_sat(Time a, Time b) noexcept {
-  const auto sum = checked_add(a, b);
-  return sum ? *sum : kTimeInfinity;
-}
 
 /// The fault layer's exact overrun rounding (sim/simulator.cpp): analytic
 /// and simulated probes must scale identically or the margins are not
@@ -26,21 +21,6 @@ Time scale_wcet(Time wcet, double factor) {
   const double scaled = factor * static_cast<double>(wcet);
   if (scaled >= static_cast<double>(kTimeInfinity)) return kTimeInfinity;
   return std::max<Time>(1, static_cast<Time>(std::llround(scaled)));
-}
-
-/// Jitter-aware RTA fixed point R = C + sum_j ceil((R + J) / T_j) * C_j
-/// over the higher-priority span, or nullopt once an iterate exceeds
-/// `bound` (iterates are non-decreasing).
-std::optional<Time> jitter_response(Time wcet, Time bound,
-                                    std::span<const Subtask> hp, Time jitter) {
-  if (wcet > bound) return std::nullopt;
-  Time r = add_sat(wcet, interference_at(add_sat(wcet, jitter), hp));
-  while (r <= bound) {
-    const Time next = add_sat(wcet, interference_at(add_sat(r, jitter), hp));
-    if (next == r) return r;
-    r = next;
-  }
-  return std::nullopt;
 }
 
 void validate(const TaskSet& tasks, const Assignment& assignment) {
@@ -119,15 +99,21 @@ bool assignment_tolerates(const TaskSet& tasks, const Assignment& assignment,
   const std::size_t n = tasks.size();
   // Scaled per-piece responses, gathered per task as (part, response).
   std::vector<std::vector<std::pair<int, Time>>> pieces(n);
+  // The robustness bisection probes the same assignment at dozens of
+  // (factor, jitter) points; each probe is a many-evaluations-on-one-
+  // processor scan, exactly the SoA kernel's shape.  One scratch mirror
+  // per processor serves every prefix evaluation on it.
+  RtaSoa soa;
   for (const ProcessorAssignment& proc : assignment.processors) {
     std::vector<Subtask> scaled = proc.subtasks;
     for (Subtask& s : scaled) s.wcet = scale_wcet(s.wcet, factor);
+    soa.assign(scaled);
     for (std::size_t i = 0; i < scaled.size(); ++i) {
       const Subtask& s = scaled[i];
       // Bound by the period: every Eq. 1 deadline is <= T, so a response
       // beyond T fails regardless of the chain prefix.
-      const auto r = jitter_response(
-          s.wcet, s.period, std::span<const Subtask>(scaled.data(), i), jitter);
+      const auto r = kernel_jitter_response(scaled, soa, i, s.wcet, s.period,
+                                            jitter);
       if (!r) return false;
       pieces[s.priority].emplace_back(s.part, *r);
     }

@@ -207,6 +207,21 @@ inline void count(Counter counter, std::uint64_t delta = 1) noexcept {
              std::memory_order_relaxed);
 }
 
+/// Increments two counters with one enabled check and one thread-state
+/// fetch.  For paths that flush a fixed pair per call (the admission
+/// probe flushes iteration and seeded-call deltas on every fits()), the
+/// shared prologue is most of count()'s cost; adding 0 is harmless, so
+/// callers need no delta != 0 guard either.
+inline void count2(Counter c1, std::uint64_t d1, Counter c2,
+                   std::uint64_t d2) noexcept {
+  if (!enabled()) return;
+  auto& counters = detail::local_state().counters;
+  auto& a = counters[static_cast<std::size_t>(c1)];
+  a.store(a.load(std::memory_order_relaxed) + d1, std::memory_order_relaxed);
+  auto& b = counters[static_cast<std::size_t>(c2)];
+  b.store(b.load(std::memory_order_relaxed) + d2, std::memory_order_relaxed);
+}
+
 [[nodiscard]] Snapshot snapshot();
 
 #if defined(__x86_64__)
@@ -262,6 +277,7 @@ inline void set_enabled(bool) noexcept {}
 [[nodiscard]] inline bool enabled() noexcept { return false; }
 inline void record_ns(Stage, std::uint64_t) noexcept {}
 inline void count(Counter, std::uint64_t = 1) noexcept {}
+inline void count2(Counter, std::uint64_t, Counter, std::uint64_t) noexcept {}
 [[nodiscard]] inline Snapshot snapshot() { return {}; }
 [[nodiscard]] inline std::uint64_t now_ns() noexcept { return 0; }
 

@@ -76,25 +76,33 @@ std::vector<std::size_t> offering_order(const TaskSet& tasks, TaskOrder order) {
 std::optional<std::size_t> pick_bin(const std::vector<ProcessorState>& processors,
                                     FitPolicy fit, Admission admission,
                                     const Subtask& candidate) {
-  std::optional<std::size_t> best;
-  for (std::size_t q = 0; q < processors.size(); ++q) {
-    if (!admits(admission, processors[q], candidate)) continue;
-    switch (fit) {
-      case FitPolicy::kFirstFit:
-        return q;
-      case FitPolicy::kBestFit:
-        if (!best || processors[q].utilization() > processors[*best].utilization()) {
-          best = q;
-        }
-        break;
-      case FitPolicy::kWorstFit:
-        if (!best || processors[q].utilization() < processors[*best].utilization()) {
-          best = q;
-        }
-        break;
+  if (fit == FitPolicy::kFirstFit) {
+    for (std::size_t q = 0; q < processors.size(); ++q) {
+      if (admits(admission, processors[q], candidate)) return q;
     }
+    return std::nullopt;
   }
-  return best;
+  // Best/WorstFit pick the admitting processor with the extreme
+  // utilization, earliest index on ties.  Probing in preference order --
+  // utilization descending (BF) / ascending (WF), stable on index --
+  // returns that identical pick but stops at the first admit, skipping
+  // the (RTA-backed, hence expensive) probes of every less-preferred
+  // processor that the plain left-to-right scan would have paid for.
+  thread_local std::vector<std::size_t> order;
+  order.resize(processors.size());
+  std::iota(order.begin(), order.end(), 0);
+  const bool best_fit = fit == FitPolicy::kBestFit;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return best_fit ? processors[a].utilization() >
+                                           processors[b].utilization()
+                                     : processors[a].utilization() <
+                                           processors[b].utilization();
+                   });
+  for (const std::size_t q : order) {
+    if (admits(admission, processors[q], candidate)) return q;
+  }
+  return std::nullopt;
 }
 
 }  // namespace

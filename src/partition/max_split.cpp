@@ -32,13 +32,17 @@ Time max_wcet_binary(const ProcessorState& processor, const Subtask& prototype) 
 
 /// Largest own execution budget of the candidate: max over its testing set
 /// of (t - higher-priority interference).  Candidate-deadline dependent,
-/// so not served from the hosted cache.
+/// so not served from the hosted cache; the scratch point buffer persists
+/// across MaxSplit's per-processor search calls instead (one thread's
+/// partitioning run reuses its capacity allocation-free).
 Time max_self_budget(std::span<const Subtask> higher, Time deadline) {
+  thread_local std::vector<Time> points;
+  scheduling_points(deadline, higher, points);
   Time best = 0;
-  for (const Time t : scheduling_points(deadline, higher)) {
-    const Time demand = interference_at(t, higher);
-    if (demand >= t) continue;  // also skips saturated (kTimeInfinity) demand
-    best = std::max(best, t - demand);
+  for (const Time t : points) {
+    const auto demand = interference_at(t, higher);
+    if (!demand || *demand >= t) continue;  // overflowed demand never fits
+    best = std::max(best, t - *demand);
   }
   return best;
 }
@@ -66,9 +70,9 @@ Time max_extra_interference(const ProcessorState& processor, std::size_t index,
   const auto higher = processor.subtasks().first(index);
   for (Time t = candidate_period; t < hosted.deadline;) {
     const Time avail = t - hosted.wcet;
-    const Time demand = interference_at(t, higher);
-    if (demand < avail) {
-      best = std::max(best, (avail - demand) / ceil_div(t, candidate_period));
+    const auto demand = interference_at(t, higher);
+    if (demand && *demand < avail) {
+      best = std::max(best, (avail - *demand) / ceil_div(t, candidate_period));
     }
     if (t > kTimeInfinity - candidate_period) break;
     t += candidate_period;

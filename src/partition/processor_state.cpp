@@ -40,6 +40,14 @@ void ProcessorState::add(const Subtask& subtask) {
       for (std::size_t i = pos + 1; i < subtasks_.size(); ++i) {
         cache_->response_valid[i] = 0;
       }
+      cache_->warm_prefix = std::min(cache_->warm_prefix, pos);
+    }
+    // Keep the SoA mirror in lockstep (O(n - pos), same as the vector
+    // inserts above).  If it fell out of step -- e.g. the cache was
+    // materialized before the mirror existed -- materialize_cache()
+    // rebuilds it on the next kernel query instead.
+    if (cache_->soa.size() + 1 == subtasks_.size()) {
+      cache_->soa.insert(pos, subtask);
     }
     if (!cache_->testing_sets.empty()) {
       cache_->testing_sets.insert(cache_->testing_sets.begin() + offset,
@@ -62,6 +70,10 @@ ProcessorState::Cache& ProcessorState::materialize_cache() const {
       cache.response[i] = subtasks_[i].wcet;  // lower-bound seed
     }
     cache.response_valid.assign(subtasks_.size(), 0);
+    cache.warm_prefix = 0;
+  }
+  if (cache.soa.size() != subtasks_.size()) {
+    cache.soa.assign(subtasks_);
   }
   return cache;
 }
@@ -75,10 +87,9 @@ void ProcessorState::ensure_response(std::size_t index) const {
   trace::count(trace::Counter::kAdmissionCacheMiss);
   // A stale miss stays a miss: interference only grew since it was found.
   if (cache.response[index] != kTimeInfinity) {
-    const auto hp = std::span<const Subtask>(subtasks_).first(index);
-    const RtaOutcome outcome =
-        response_time_seeded(subtasks_[index].wcet, subtasks_[index].deadline,
-                             hp, cache.response[index]);
+    const RtaOutcome outcome = kernel_response_time(
+        subtasks_, cache.soa, index, subtasks_[index].wcet,
+        subtasks_[index].deadline, cache.response[index]);
     trace::count(trace::Counter::kAdmissionRtaIterations,
                  static_cast<std::uint64_t>(outcome.iterations));
     cache.response[index] = outcome.schedulable ? outcome.response : kTimeInfinity;
@@ -86,56 +97,68 @@ void ProcessorState::ensure_response(std::size_t index) const {
   cache.response_valid[index] = 1;
 }
 
-bool ProcessorState::fits(const Subtask& candidate) const {
-  const Cache& cache = materialize_cache();
-  const std::size_t pos = insert_position(subtasks_, candidate);
-  const auto all = std::span<const Subtask>(subtasks_);
+void ProcessorState::warm_responses(Cache& cache) const {
+  if (cache.warm_prefix == subtasks_.size()) return;
+  // One exact-response pass over the invalidated suffix (add() only ever
+  // invalidates suffixes), each entry seeded by its own stale lower bound
+  // -- the same work the next probe's seeded scan would have done once,
+  // now amortized across every probe until the next add().
+  std::uint64_t iterations = 0;
+  std::uint64_t computed = 0;
+  for (std::size_t i = cache.warm_prefix; i < subtasks_.size(); ++i) {
+    if (cache.response_valid[i]) continue;
+    ++computed;
+    // A stale miss stays a miss: interference only grew since it was found.
+    if (cache.response[i] != kTimeInfinity) {
+      const RtaOutcome outcome = kernel_response_time(
+          subtasks_, cache.soa, i, subtasks_[i].wcet, subtasks_[i].deadline,
+          cache.response[i]);
+      iterations += static_cast<std::uint64_t>(outcome.iterations);
+      cache.response[i] = outcome.schedulable ? outcome.response : kTimeInfinity;
+    }
+    cache.response_valid[i] = 1;
+  }
+  cache.warm_prefix = subtasks_.size();
+  if (computed != 0) {
+    trace::count(trace::Counter::kAdmissionCacheMiss, computed);
+    trace::count(trace::Counter::kAdmissionRtaIterations, iterations);
+  }
+}
 
-  // Counter deltas are accumulated locally and flushed once on exit --
-  // fits() runs O(N x M) times per partitioning, so per-subtask
+bool ProcessorState::fits(const Subtask& candidate) const {
+  Cache& cache = materialize_cache();
+  warm_responses(cache);
+  // The candidate under its prefix, then each lower-priority subtask with
+  // the candidate as an extra interferer, seeded with the memoized
+  // candidate-free responses (now exact after warming, which unlocks the
+  // kernel's O(1) first-iterate identity; a cached kTimeInfinity is a
+  // known miss and rejects immediately).  The kernel replicates this
+  // probe order bit-identically; see rta_kernel.hpp.
+  const KernelFit verdict = kernel_fits(subtasks_, cache.soa, cache.response,
+                                        candidate, /*seeds_exact=*/true);
+  // Counter deltas were accumulated inside the probe and are flushed once
+  // here -- fits() runs O(N x M) times per partitioning, so per-subtask
   // trace::count calls would dominate the instrumentation budget.
+  trace::count2(trace::Counter::kAdmissionRtaIterations, verdict.iterations,
+                trace::Counter::kAdmissionSeededRta, verdict.seeded_calls);
+  return verdict.fits;
+}
+
+void ProcessorState::fits_batch(std::span<const Subtask> candidates,
+                                std::span<KernelFit> verdicts) const {
+  assert(candidates.size() == verdicts.size());
+  Cache& cache = materialize_cache();
+  warm_responses(cache);
+  rta_batch_fits(subtasks_, cache.soa, cache.response, candidates, verdicts,
+                 /*seeds_exact=*/true);
   std::uint64_t iterations = 0;
   std::uint64_t seeded_calls = 0;
-  const auto flush = [&]() noexcept {
-    trace::count(trace::Counter::kAdmissionRtaIterations, iterations);
-    if (seeded_calls != 0) {
-      trace::count(trace::Counter::kAdmissionSeededRta, seeded_calls);
-    }
-  };
-
-  // The candidate itself, interfered by the higher-priority prefix.
-  const RtaOutcome own =
-      response_time(candidate.wcet, candidate.deadline, all.first(pos));
-  iterations += static_cast<std::uint64_t>(own.iterations);
-  if (!own.schedulable) {
-    flush();
-    return false;
+  for (const KernelFit& verdict : verdicts) {
+    iterations += verdict.iterations;
+    seeded_calls += verdict.seeded_calls;
   }
-
-  // Every lower-priority subtask now additionally sees the candidate; its
-  // memoized candidate-free response seeds the re-analysis.  A stale value
-  // is still a valid seed (the interferer set only ever grows, so it stays
-  // a lower bound), which keeps this at exactly one fixed-point run per
-  // subtask -- the cache is deliberately NOT warmed here, because in
-  // partitioning loops every add() invalidates the suffix again before the
-  // warm value could be reused.
-  for (std::size_t i = pos; i < subtasks_.size(); ++i) {
-    if (cache.response[i] == kTimeInfinity) {  // miss stays a miss
-      flush();
-      return false;
-    }
-    ++seeded_calls;
-    const RtaOutcome seeded =
-        response_time_with(subtasks_[i].wcet, subtasks_[i].deadline,
-                           all.first(i), candidate, cache.response[i]);
-    iterations += static_cast<std::uint64_t>(seeded.iterations);
-    if (!seeded.schedulable) {
-      flush();
-      return false;
-    }
-  }
-  flush();
-  return true;
+  trace::count2(trace::Counter::kAdmissionRtaIterations, iterations,
+                trace::Counter::kAdmissionSeededRta, seeded_calls);
 }
 
 Time ProcessorState::response_time_of(std::size_t index) const {
@@ -159,10 +182,14 @@ const ProcessorState::TestingSet& ProcessorState::testing_set(
   if (!cache.testing_valid[index]) {
     const auto hp = std::span<const Subtask>(subtasks_).first(index);
     TestingSet& set = cache.testing_sets[index];
-    set.points = scheduling_points(subtasks_[index].deadline, hp);
+    scheduling_points(subtasks_[index].deadline, hp, set.points);
     set.interference.resize(set.points.size());
     for (std::size_t k = 0; k < set.points.size(); ++k) {
-      set.interference[k] = interference_at(set.points[k], hp);
+      // kTimeInfinity encodes an overflowed W(t) in the memoized set (the
+      // documented TestingSet convention); interference_at itself keeps
+      // overflow distinct from real values via nullopt.
+      const auto demand = interference_at(set.points[k], hp);
+      set.interference[k] = demand ? *demand : kTimeInfinity;
     }
     cache.testing_valid[index] = 1;
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rta/rta.hpp"
+#include "rta/rta_kernel.hpp"
 #include "tasks/subtask.hpp"
 
 namespace rmts {
@@ -66,8 +67,19 @@ class ProcessorState {
   /// meet their (synthetic) deadlines.  Only the candidate and the
   /// lower-priority subtasks are re-analyzed; higher-priority response
   /// times cannot change, and each re-analysis is seeded with the memoized
-  /// candidate-free response.
+  /// candidate-free response.  Evaluated through the SoA kernel
+  /// (rta/rta_kernel.hpp), bit-identical to the scalar path.
   [[nodiscard]] bool fits(const Subtask& candidate) const;
+
+  /// Batched admission: one verdict per candidate against the current
+  /// hosted set, equivalent to (but cheaper than) calling fits() per
+  /// candidate -- the SoA mirror, memoized seeds and trace-counter
+  /// flushing are set up once for the whole probe group.  This is the
+  /// shape of the worst-fit candidate scan, the robustness bisection and
+  /// the server's admit_batch op.  `verdicts.size()` must equal
+  /// `candidates.size()`.
+  void fits_batch(std::span<const Subtask> candidates,
+                  std::span<KernelFit> verdicts) const;
 
   /// Worst-case response time of the hosted subtask at `index` (position in
   /// subtasks()).  Used to fix the synthetic deadline of a split remainder
@@ -102,6 +114,14 @@ class ProcessorState {
     /// does).
     std::vector<Time> response;
     std::vector<char> response_valid;
+    /// Entries [0, warm_prefix) are all valid (exact).  add() only ever
+    /// invalidates suffixes, so one marker is enough for warm_responses()
+    /// to skip its scan entirely in the steady probe-heavy state.
+    std::size_t warm_prefix{0};
+    /// Structure-of-arrays mirror of subtasks_ for the RTA kernel,
+    /// maintained incrementally by add() once live (and rebuilt whenever
+    /// it falls out of step, e.g. after copy-assignment dropped it).
+    RtaSoa soa;
     /// Empty until the first testing_set() query.
     std::vector<TestingSet> testing_sets;
     std::vector<char> testing_valid;
@@ -109,6 +129,14 @@ class ProcessorState {
 
   /// Makes cache_->response[index] exact for the current hosted set.
   void ensure_response(std::size_t index) const;
+
+  /// Makes every cached response exact (one front-to-back pass over the
+  /// invalidated suffix, each entry seeded by its own stale lower bound).
+  /// fits()/fits_batch() warm before probing: exact seeds let the kernel
+  /// derive each seeded re-analysis' first iterate in O(1) (the
+  /// fixed-point identity in rta_kernel.cpp), saving a full time-demand
+  /// pass per hosted subtask per probe.
+  void warm_responses(Cache& cache) const;
 
   /// Allocates and seeds the cache on the first RTA query (no-op once
   /// live).  Returns the live cache.

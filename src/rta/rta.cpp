@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/checked_math.hpp"
+#include "rta/rta_kernel.hpp"
 
 namespace rmts {
 
@@ -117,22 +118,10 @@ RtaOutcome response_time_with(Time wcet, Time deadline,
 }
 
 ProcessorRta analyze_processor(std::span<const Subtask> subtasks) {
-  ProcessorRta result;
-  result.response.assign(subtasks.size(), 0);
-  result.first_miss = subtasks.size();
-  for (std::size_t i = 0; i < subtasks.size(); ++i) {
-    const auto hp = subtasks.first(i);
-    const RtaOutcome outcome =
-        response_time(subtasks[i].wcet, subtasks[i].deadline, hp);
-    if (!outcome.schedulable) {
-      result.schedulable = false;
-      result.first_miss = i;
-      return result;
-    }
-    result.response[i] = outcome.response;
-  }
-  result.schedulable = true;
-  return result;
+  // The SoA kernel's per-prefix evaluation is bit-identical to calling
+  // response_time per prefix (rta_kernel.hpp); the fuzzer's `kernel` mode
+  // cross-checks exactly that equivalence.
+  return kernel_analyze(subtasks);
 }
 
 bool processor_schedulable(std::span<const Subtask> subtasks) {
@@ -151,6 +140,30 @@ bool rm_schedulable_uniprocessor(const TaskSet& tasks) {
 std::vector<Time> scheduling_points(Time deadline,
                                     std::span<const Subtask> interferers) {
   std::vector<Time> points;
+  scheduling_points(deadline, interferers, points);
+  return points;
+}
+
+void scheduling_points(Time deadline, std::span<const Subtask> interferers,
+                       std::vector<Time>& points) {
+  points.clear();
+  // Exact point count before dedup: one per arrival multiple below the
+  // deadline plus the deadline itself.  Capped so a degenerate
+  // short-period/huge-deadline probe cannot demand a gigabyte of scratch
+  // up front -- past the cap the vector just grows geometrically as before.
+  constexpr std::size_t kReserveCap = std::size_t{1} << 20;
+  std::size_t upper = 1;
+  for (const Subtask& j : interferers) {
+    if (j.period <= 0 || deadline <= 1) continue;
+    upper += static_cast<std::size_t>(
+        std::min<Time>((deadline - 1) / j.period,
+                       static_cast<Time>(kReserveCap)));
+    if (upper >= kReserveCap) {
+      upper = kReserveCap;
+      break;
+    }
+  }
+  points.reserve(upper);
   points.push_back(deadline);
   for (const Subtask& j : interferers) {
     for (Time t = j.period; t < deadline;) {
@@ -161,16 +174,16 @@ std::vector<Time> scheduling_points(Time deadline,
   }
   std::sort(points.begin(), points.end());
   points.erase(std::unique(points.begin(), points.end()), points.end());
-  return points;
 }
 
-Time interference_at(Time t, std::span<const Subtask> interferers) {
+std::optional<Time> interference_at(Time t,
+                                    std::span<const Subtask> interferers) {
   Time demand = 0;
   for (const Subtask& j : interferers) {
     const auto term = checked_mul(ceil_div(t, j.period), j.wcet);
-    if (!term) return kTimeInfinity;
+    if (!term) return std::nullopt;
     const auto sum = checked_add(demand, *term);
-    if (!sum) return kTimeInfinity;
+    if (!sum) return std::nullopt;
     demand = *sum;
   }
   return demand;

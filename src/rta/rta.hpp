@@ -13,6 +13,7 @@
 // Section II), which is why plain uniprocessor RTA is sound here (Lemma 4).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -74,7 +75,9 @@ struct ProcessorRta {
 
 /// Analyzes every subtask on a processor.  `subtasks` must be sorted by
 /// strictly increasing `priority` rank (0 = highest first); each entry is
-/// checked against its own synthetic deadline.
+/// checked against its own synthetic deadline.  Evaluated through the
+/// structure-of-arrays kernel (rta/rta_kernel.hpp) with outcomes
+/// bit-identical to running response_time per prefix.
 [[nodiscard]] ProcessorRta analyze_processor(std::span<const Subtask> subtasks);
 
 /// True iff every subtask meets its deadline; convenience over
@@ -94,8 +97,19 @@ struct ProcessorRta {
 [[nodiscard]] std::vector<Time> scheduling_points(Time deadline,
                                                   std::span<const Subtask> interferers);
 
-/// Total higher-priority demand sum_j ceil(t / T_j) * C_j at time t.
-/// Saturates to kTimeInfinity if the sum overflows int64.
-[[nodiscard]] Time interference_at(Time t, std::span<const Subtask> interferers);
+/// As above into a caller-supplied scratch buffer: `points` is cleared,
+/// reserved from the interferer periods (sum of floor((deadline-1)/T_j)
+/// arrival counts, capped), filled, sorted and deduplicated -- no fresh
+/// allocation once the scratch capacity has grown to the workload.  The
+/// testing-set builder and MaxSplit's search loops call this overload.
+void scheduling_points(Time deadline, std::span<const Subtask> interferers,
+                       std::vector<Time>& points);
+
+/// Total higher-priority demand sum_j ceil(t / T_j) * C_j at time t, or
+/// nullopt if the sum overflows int64 (distinct from any genuine demand,
+/// which is always representable when returned -- callers must not
+/// conflate "overflowed" with a real kTimeInfinity-sized value).
+[[nodiscard]] std::optional<Time> interference_at(
+    Time t, std::span<const Subtask> interferers);
 
 }  // namespace rmts

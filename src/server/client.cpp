@@ -263,6 +263,53 @@ std::string make_admit_request(std::size_t processors, const TaskSet& tasks,
   return w.str();
 }
 
+std::string make_admit_batch_request(std::size_t processors,
+                                     std::span<const TaskSet> batch,
+                                     std::string_view alg,
+                                     std::string_view bound, std::int64_t id,
+                                     std::int64_t deadline_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("op");
+  w.value("admit_batch");
+  if (id >= 0) {
+    w.key("id");
+    w.value(id);
+  }
+  if (deadline_ms > 0) {
+    w.key("deadline_ms");
+    w.value(deadline_ms);
+  }
+  w.key("m");
+  w.value(processors);
+  if (!alg.empty()) {
+    w.key("alg");
+    w.value(alg);
+  }
+  if (!bound.empty()) {
+    w.key("bound");
+    w.value(bound);
+  }
+  w.key("items");
+  w.begin_array();
+  for (const TaskSet& tasks : batch) {
+    w.begin_object();
+    w.key("tasks");
+    w.begin_array();
+    for (const Task& task : tasks) {
+      w.begin_array();
+      w.value(static_cast<std::int64_t>(task.wcet));
+      w.value(static_cast<std::int64_t>(task.period));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
 std::string make_analyze_request(std::size_t processors, const TaskSet& tasks,
                                  std::string_view alg, std::string_view bound,
                                  std::int64_t id, std::int64_t deadline_ms) {

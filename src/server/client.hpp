@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -122,6 +123,13 @@ class Client {
     std::size_t processors, const TaskSet& tasks, std::string_view alg = {},
     std::string_view bound = {}, std::int64_t id = -1,
     std::int64_t deadline_ms = 0);
+/// Batched admission: every task set in `batch` probed in one request
+/// (op admit_batch), sharing the top-level m/alg/bound defaults.  The
+/// reply carries one entry per item plus accepted_count.
+[[nodiscard]] std::string make_admit_batch_request(
+    std::size_t processors, std::span<const TaskSet> batch,
+    std::string_view alg = {}, std::string_view bound = {},
+    std::int64_t id = -1, std::int64_t deadline_ms = 0);
 [[nodiscard]] std::string make_analyze_request(
     std::size_t processors, const TaskSet& tasks, std::string_view alg = {},
     std::string_view bound = {}, std::int64_t id = -1,

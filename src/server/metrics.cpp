@@ -5,6 +5,7 @@ namespace rmts::server {
 std::string_view endpoint_name(Endpoint endpoint) noexcept {
   switch (endpoint) {
     case Endpoint::kAdmit: return "admit";
+    case Endpoint::kAdmitBatch: return "admit_batch";
     case Endpoint::kAnalyze: return "analyze";
     case Endpoint::kRobustness: return "robustness";
     case Endpoint::kSimulate: return "simulate";

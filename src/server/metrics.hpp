@@ -26,6 +26,7 @@ namespace rmts::server {
 /// enough to name one.
 enum class Endpoint : std::uint8_t {
   kAdmit,
+  kAdmitBatch,
   kAnalyze,
   kRobustness,
   kSimulate,
@@ -33,7 +34,7 @@ enum class Endpoint : std::uint8_t {
   kMetrics,
   kMalformed,
 };
-inline constexpr std::size_t kEndpointCount = 7;
+inline constexpr std::size_t kEndpointCount = 8;
 
 [[nodiscard]] std::string_view endpoint_name(Endpoint endpoint) noexcept;
 

@@ -63,6 +63,9 @@ std::string_view budget_class_name(BudgetClass cls) noexcept {
 bool budget_class_of(Endpoint endpoint, BudgetClass& out) noexcept {
   switch (endpoint) {
     case Endpoint::kAdmit: out = BudgetClass::kAdmit; return true;
+    // A batch is admission work: it shares the admit budget so a flood of
+    // batches cannot starve single-probe clients of their own class.
+    case Endpoint::kAdmitBatch: out = BudgetClass::kAdmit; return true;
     case Endpoint::kAnalyze: out = BudgetClass::kAnalyze; return true;
     case Endpoint::kRobustness: out = BudgetClass::kRobustness; return true;
     case Endpoint::kSimulate: out = BudgetClass::kSimulate; return true;
@@ -183,7 +186,7 @@ RequestPeek peek_request(std::string_view line) noexcept {
         const std::size_t end = scan_string(line, pos, op);
         if (end == std::string_view::npos) return peek;
         pos = end;
-        if (op == "admit") {
+        if (op == "admit" || op == "admit_batch") {
           peek.cls = BudgetClass::kAdmit;
           peek.budgeted = true;
         } else if (op == "analyze") {

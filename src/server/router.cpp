@@ -215,6 +215,70 @@ void handle_admit(JsonWriter& w, const JsonValue& request,
   write_assignment_summary(w, assignment);
 }
 
+/// Batched admission: one request carrying many task sets, amortizing
+/// parse/dispatch/reply framing over the whole probe group (the client
+///-side analogue of the SoA kernel's rta_batch_fits, which the admission
+/// path under each item's partition() runs on).  Top-level m/alg/bound
+/// are defaults each item may override; a bad item yields a per-item
+/// ok:false entry without failing its siblings.
+void handle_admit_batch(JsonWriter& w, const JsonValue& request,
+                        const RouterConfig& config) {
+  const JsonValue& items = require(request, "items");
+  if (!items.is_array()) reject("field 'items' must be an array");
+  if (items.items().empty()) reject("field 'items' must not be empty");
+  if (items.items().size() > config.max_batch_items) {
+    reject("too many items (limit " + std::to_string(config.max_batch_items) +
+           ")");
+  }
+  const std::int64_t default_m =
+      optional_int(request, "m", 0, 1,
+                   static_cast<std::int64_t>(config.max_processors));
+  const std::string default_alg = optional_string(request, "alg", "rmts");
+  const std::string default_bound = optional_string(request, "bound", "hc");
+
+  std::size_t accepted = 0;
+  w.key("items");
+  w.begin_array();
+  for (const JsonValue& item : items.items()) {
+    w.begin_object();
+    try {
+      if (!item.is_object()) reject("each item must be an object");
+      const std::int64_t m =
+          optional_int(item, "m", default_m, 1,
+                       static_cast<std::int64_t>(config.max_processors));
+      if (m == 0) reject("missing field 'm' (item or request level)");
+      const TaskSet tasks = parse_tasks(item, config.max_tasks);
+      const std::string alg = optional_string(item, "alg", default_alg);
+      const std::string bound = optional_string(item, "bound", default_bound);
+      const std::shared_ptr<const Partitioner> algorithm =
+          make_algorithm(alg, make_bound(bound));
+      const auto processors = static_cast<std::size_t>(m);
+      const Assignment assignment = algorithm->partition(tasks, processors);
+      w.key("ok");
+      w.value(true);
+      w.key("algorithm");
+      w.value(algorithm->name());
+      write_task_set_summary(w, tasks, processors);
+      write_assignment_summary(w, assignment);
+      if (assignment.success) ++accepted;
+    } catch (const ProtocolError& error) {
+      w.key("ok");
+      w.value(false);
+      w.key("error");
+      w.value(error.message);
+    } catch (const Error& error) {
+      w.key("ok");
+      w.value(false);
+      w.key("error");
+      w.value(std::string_view(error.what()));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("accepted_count");
+  w.value(accepted);
+}
+
 void handle_analyze(JsonWriter& w, const JsonValue& request,
                     const RouterConfig& config) {
   const PartitionRequest p = parse_partition_request(request, config);
@@ -517,6 +581,7 @@ void write_trace_stats(JsonWriter& w) {
 trace::Stage stage_of(Endpoint endpoint) noexcept {
   switch (endpoint) {
     case Endpoint::kAdmit: return trace::Stage::kRouterAdmit;
+    case Endpoint::kAdmitBatch: return trace::Stage::kRouterAdmit;
     case Endpoint::kAnalyze: return trace::Stage::kRouterAnalyze;
     case Endpoint::kRobustness: return trace::Stage::kRouterRobustness;
     case Endpoint::kSimulate: return trace::Stage::kRouterSimulate;
@@ -696,6 +761,8 @@ HandleOutcome Router::handle(std::string_view line) const {
   Endpoint endpoint;
   if (op == "admit") {
     endpoint = Endpoint::kAdmit;
+  } else if (op == "admit_batch") {
+    endpoint = Endpoint::kAdmitBatch;
   } else if (op == "analyze") {
     endpoint = Endpoint::kAnalyze;
   } else if (op == "robustness") {
@@ -733,6 +800,9 @@ HandleOutcome Router::handle(std::string_view line) const {
     begin_reply(w, op, id);
     switch (endpoint) {
       case Endpoint::kAdmit: handle_admit(w, request, config_); break;
+      case Endpoint::kAdmitBatch:
+        handle_admit_batch(w, request, config_);
+        break;
       case Endpoint::kAnalyze: handle_analyze(w, request, config_); break;
       case Endpoint::kRobustness: handle_robustness(w, request, config_); break;
       case Endpoint::kSimulate: handle_simulate(w, request, config_); break;

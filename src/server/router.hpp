@@ -34,6 +34,9 @@ struct RouterConfig {
   Time sim_horizon_cap{2'000'000};
   /// Upper limit a robustness request may set as its bisection range.
   double max_overrun_factor{8.0};
+  /// Most task sets one admit_batch request may carry; each item still
+  /// honors max_tasks/max_processors on its own.
+  std::size_t max_batch_items{64};
 };
 
 /// One budgeted op class's live overload-control state (stats/metrics).

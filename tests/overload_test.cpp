@@ -205,6 +205,9 @@ TEST(PeekRequest, ClassifiesEveryBudgetedOp) {
       {R"({"op":"robustness","m":2,"tasks":[[1,4]]})",
        BudgetClass::kRobustness},
       {R"({"op":"simulate","m":2,"tasks":[[1,4]]})", BudgetClass::kSimulate},
+      // Batched admission shares the admit budget (overload.cpp).
+      {R"({"op":"admit_batch","m":2,"items":[{"tasks":[[1,4]]}]})",
+       BudgetClass::kAdmit},
       {R"({ "op" : "admit" })", BudgetClass::kAdmit},  // whitespace tolerated
   };
   for (const auto& c : cases) {

@@ -2,6 +2,7 @@
 // property-style randomized cross-checks against time-demand analysis.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -109,9 +110,20 @@ TEST(SchedulingPoints, DeduplicatesCoincidingArrivals) {
 TEST(InterferenceAt, CeilingSemantics) {
   const TaskSet set = TaskSet::from_pairs({{10, 100}});
   const auto hp = as_subtasks(set);
-  EXPECT_EQ(interference_at(1, hp), 10);
-  EXPECT_EQ(interference_at(100, hp), 10);
-  EXPECT_EQ(interference_at(101, hp), 20);
+  EXPECT_EQ(interference_at(1, hp), std::optional<Time>{10});
+  EXPECT_EQ(interference_at(100, hp), std::optional<Time>{10});
+  EXPECT_EQ(interference_at(101, hp), std::optional<Time>{20});
+}
+
+TEST(InterferenceAt, OverflowIsTaggedNotSaturated) {
+  // At overflow scale the demand is reported as nullopt, not as a
+  // kTimeInfinity value a caller could accidentally keep computing with
+  // (wcet + kTimeInfinity is signed-overflow UB).
+  const Time huge = kTimeInfinity / 2;
+  const std::vector<Subtask> hp{
+      {0, 0, 0, huge, 3, huge, SubtaskKind::kWhole}};
+  EXPECT_EQ(interference_at(huge, hp), std::nullopt);
+  EXPECT_EQ(interference_at(3, hp), std::optional<Time>{huge});
 }
 
 // Cross-check: RTA schedulability == time-demand analysis over the testing
@@ -135,7 +147,8 @@ TEST(Rta, AgreesWithTimeDemandAnalysis) {
           response_time(subtasks[i].wcet, subtasks[i].deadline, hp);
       bool tda = false;
       for (const Time t : scheduling_points(subtasks[i].deadline, hp)) {
-        if (subtasks[i].wcet + interference_at(t, hp) <= t) {
+        const auto demand = interference_at(t, hp);
+        if (demand && subtasks[i].wcet + *demand <= t) {
           tda = true;
           break;
         }
@@ -227,9 +240,10 @@ TEST(Rta, FixedPointIsMinimal) {
     const Time wcet = rng.uniform_int(1, 20);
     const RtaOutcome outcome = response_time(wcet, 2000, hp);
     if (!outcome.schedulable) continue;
-    EXPECT_EQ(wcet + interference_at(outcome.response, hp), outcome.response);
+    EXPECT_EQ(wcet + interference_at(outcome.response, hp).value(),
+              outcome.response);
     for (Time t = std::max<Time>(1, outcome.response - 25); t < outcome.response; ++t) {
-      EXPECT_GT(wcet + interference_at(t, hp), t);
+      EXPECT_GT(wcet + interference_at(t, hp).value(), t);
     }
   }
 }

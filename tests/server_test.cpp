@@ -178,6 +178,80 @@ TEST_F(RouterTest, AdmitAgreesWithDirectLibraryCall) {
   EXPECT_EQ(reply.find("op")->as_string(), "admit");
 }
 
+TEST_F(RouterTest, AdmitBatchMatchesPerItemAdmitReplies) {
+  const std::vector<TaskSet> batch = {
+      TaskSet::from_pairs({{1, 4}, {1, 5}, {2, 10}, {3, 20}}),
+      TaskSet::from_pairs({{3, 4}, {4, 5}, {9, 10}}),  // overloaded
+      TaskSet::from_pairs({{1, 10}, {1, 20}}),
+  };
+  const JsonValue reply = handle(make_admit_batch_request(2, batch));
+  ASSERT_TRUE(reply.find("ok")->as_bool());
+  EXPECT_EQ(reply.find("op")->as_string(), "admit_batch");
+  const JsonValue* items = reply.find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->items().size(), batch.size());
+
+  std::int64_t accepted = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const JsonValue& item = items->items()[i];
+    ASSERT_TRUE(item.find("ok")->as_bool()) << "item " << i;
+    const JsonValue single = handle(make_admit_request(2, batch[i]));
+    EXPECT_EQ(item.find("accepted")->as_bool(),
+              single.find("accepted")->as_bool())
+        << "item " << i;
+    EXPECT_EQ(item.find("algorithm")->as_string(),
+              single.find("algorithm")->as_string());
+    if (item.find("accepted")->as_bool()) ++accepted;
+  }
+  EXPECT_EQ(reply.find("accepted_count")->as_int(), accepted);
+}
+
+TEST_F(RouterTest, AdmitBatchIsolatesBadItemsAndHonorsOverrides) {
+  // Item 2 is malformed (wcet 0); its siblings must still be served.  The
+  // third item overrides the top-level m.
+  const JsonValue reply = handle(
+      R"({"op":"admit_batch","m":2,"items":[)"
+      R"({"tasks":[[1,4],[1,5]]},)"
+      R"({"tasks":[[0,5]]},)"
+      R"({"tasks":[[1,4],[1,5]],"m":1}]})");
+  ASSERT_TRUE(reply.find("ok")->as_bool());
+  const JsonValue* items = reply.find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->items().size(), 3u);
+  EXPECT_TRUE(items->items()[0].find("ok")->as_bool());
+  EXPECT_FALSE(items->items()[1].find("ok")->as_bool());
+  EXPECT_FALSE(items->items()[1].find("error")->as_string().empty());
+  EXPECT_TRUE(items->items()[2].find("ok")->as_bool());
+}
+
+TEST_F(RouterTest, AdmitBatchEnforcesItemLimitAndRequiresItems) {
+  RouterConfig small;
+  small.max_batch_items = 2;
+  const Router router(small, metrics_);
+  const std::vector<TaskSet> batch(3, TaskSet::from_pairs({{1, 4}}));
+  const HandleOutcome over =
+      router.handle(make_admit_batch_request(1, batch));
+  const JsonValue over_reply = parse_ok(over.reply);
+  EXPECT_FALSE(over_reply.find("ok")->as_bool());
+  EXPECT_NE(over_reply.find("error")->as_string().find("items"),
+            std::string::npos);
+
+  for (const char* line :
+       {R"({"op":"admit_batch","m":2})",               // missing items
+        R"({"op":"admit_batch","m":2,"items":[]})",    // empty items
+        R"({"op":"admit_batch","m":2,"items":7})"}) {  // not an array
+    const JsonValue reply = parse_ok(router_.handle(line).reply);
+    EXPECT_FALSE(reply.find("ok")->as_bool()) << line;
+  }
+  // An item without its own m and no top-level default is a per-item
+  // error, not a request-level one.
+  const JsonValue no_m = parse_ok(
+      router_.handle(R"({"op":"admit_batch","items":[{"tasks":[[1,4]]}]})")
+          .reply);
+  ASSERT_TRUE(no_m.find("ok")->as_bool());
+  EXPECT_FALSE(no_m.find("items")->items()[0].find("ok")->as_bool());
+}
+
 TEST_F(RouterTest, SimulateMatchesDirectSimulation) {
   const auto tasks = TaskSet::from_pairs({{1, 4}, {1, 5}});
   const JsonValue reply = handle(make_simulate_request(2, tasks));
@@ -291,6 +365,7 @@ TEST(ServerTest, ServesEveryEndpointOverTcp) {
        {make_admit_request(2, tasks, "rmts", "hc", 1),
         make_admit_request(2, tasks, "spa2", {}, 2),
         make_admit_request(2, tasks, "edf-ts", {}, 3),
+        make_admit_batch_request(2, std::vector<TaskSet>{tasks, tasks}),
         make_analyze_request(2, tasks), make_robustness_request(2, tasks),
         make_simulate_request(2, tasks), make_stats_request(),
         make_metrics_request()}) {
@@ -300,7 +375,7 @@ TEST(ServerTest, ServesEveryEndpointOverTcp) {
   }
 
   // The metrics the stats endpoint reads are visible in-process too.
-  EXPECT_EQ(server->metrics().total_requests(), 8u);
+  EXPECT_EQ(server->metrics().total_requests(), 9u);
   EXPECT_EQ(server->runtime_stats().connections_accepted, 1u);
 }
 

@@ -18,6 +18,7 @@
 //
 //   rmts_fuzz [seconds=10] [seed=1]
 //   rmts_fuzz proto [seconds=10] [seed=1]
+//   rmts_fuzz kernel [seconds=10] [seed=1]
 //
 // The `proto` mode fuzzes the admission-control service's codec instead:
 // random, truncated, mutated and oversized byte streams are fed through
@@ -26,17 +27,28 @@
 // reply -- including those for garbage -- is a well-formed one-line JSON
 // object carrying "ok" and, on failure, a non-empty "error".
 //
+// The `kernel` mode differentially fuzzes the SoA RTA kernel
+// (rta/rta_kernel.hpp) against the checked scalar path: random hosted
+// sets -- including overflow-scale parameters that straddle the 2^31
+// fast-path boundary -- must produce bit-identical analysis outcomes,
+// admission verdicts and response times through kernel_analyze,
+// ProcessorState::fits/fits_batch and kernel_jitter_response, with the
+// SoA mirror staying consistent under any incremental insertion order.
+//
 // On violation the exact seed/attempt and fault configuration are printed
 // and the offending task set is written to
 // rmts_fuzz_violation_<seed>_<attempt>.txt, so any failure replays with
 // `rmts_fuzz <any> <seed>` or from the dumped file.  Exit code 0 iff no
 // violation found.  This is the long-running counterpart of the bounded
 // soundness tests in tests/ -- run it for an hour before a release.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,10 +56,12 @@
 #include "analysis/robustness.hpp"
 #include "bounds/best_of.hpp"
 #include "bounds/bound.hpp"
+#include "common/checked_math.hpp"
 #include "common/rng.hpp"
 #include "io/taskset_io.hpp"
 #include "partition/baselines.hpp"
 #include "partition/edf_split.hpp"
+#include "partition/processor_state.hpp"
 #include "partition/rmts.hpp"
 #include "partition/rmts_light.hpp"
 #include "partition/spa.hpp"
@@ -56,6 +70,8 @@
 #include "server/metrics.hpp"
 #include "server/protocol.hpp"
 #include "server/router.hpp"
+#include "rta/rta.hpp"
+#include "rta/rta_kernel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/simulator_reference.hpp"
 #include "workload/generators.hpp"
@@ -272,9 +288,258 @@ std::uint64_t proto_fuzz(double seconds, std::uint64_t seed) {
   return violations;
 }
 
+// ------------------------------------------------ kernel differential --
+
+/// The scalar path's documented fits() semantics, materialized naively:
+/// the candidate under its higher-priority prefix, then every
+/// lower-priority hosted subtask with the candidate appended to its
+/// interferer set -- all through the checked scalar response_time, no
+/// seeds, no caches.  Ground truth for the kernel's admission verdicts.
+bool oracle_fits(std::span<const Subtask> subtasks, const Subtask& candidate,
+                 RtaOutcome& own) {
+  const auto pos_it = std::lower_bound(
+      subtasks.begin(), subtasks.end(), candidate,
+      [](const Subtask& a, const Subtask& b) { return a.priority < b.priority; });
+  const auto pos = static_cast<std::size_t>(pos_it - subtasks.begin());
+  own = response_time(candidate.wcet, candidate.deadline, subtasks.first(pos));
+  if (!own.schedulable) return false;
+  for (std::size_t i = pos; i < subtasks.size(); ++i) {
+    std::vector<Subtask> hp(subtasks.begin(),
+                            subtasks.begin() + static_cast<std::ptrdiff_t>(i));
+    hp.push_back(candidate);
+    const RtaOutcome out =
+        response_time(subtasks[i].wcet, subtasks[i].deadline, hp);
+    if (!out.schedulable) return false;
+  }
+  return true;
+}
+
+/// Replica of the pre-kernel robustness jitter fixed point (saturating
+/// interference, overflow conflated with kTimeInfinity) -- the value
+/// contract kernel_jitter_response promises to keep.
+std::optional<Time> oracle_jitter(Time wcet, Time bound,
+                                  std::span<const Subtask> hp, Time jitter) {
+  const auto sat_add = [](Time a, Time b) noexcept {
+    const auto sum = checked_add(a, b);
+    return sum ? *sum : kTimeInfinity;
+  };
+  const auto sat_interference = [&](Time t) noexcept {
+    const auto demand = interference_at(t, hp);
+    return demand ? *demand : kTimeInfinity;
+  };
+  if (wcet > bound) return std::nullopt;
+  Time r = sat_add(wcet, sat_interference(sat_add(wcet, jitter)));
+  while (r <= bound) {
+    const Time next = sat_add(wcet, sat_interference(sat_add(r, jitter)));
+    if (next == r) return r;
+    r = next;
+  }
+  return std::nullopt;
+}
+
+/// One random subtask.  Realistic draws stay well inside the kernel's
+/// no-overflow fast path; overflow-scale draws straddle the 2^31 boundary
+/// (including exactly 2^31 +- a few) and reach kTimeInfinity/4 so every
+/// probe also exercises the checked scalar fallback and the saturating
+/// prefix sums.
+Subtask random_kernel_subtask(Rng& rng, std::size_t priority,
+                              bool overflow_scale) {
+  Subtask s;
+  s.priority = priority;
+  s.task_id = static_cast<TaskId>(priority);
+  if (overflow_scale && rng.uniform_int(0, 1) == 0) {
+    const Time boundary = Time{1} << 31;
+    s.period = rng.uniform_int(0, 1) == 0
+                   ? std::max<Time>(1, boundary + rng.uniform_int(-4, 4))
+                   : rng.uniform_int(1, kTimeInfinity / 4);
+    s.wcet = rng.uniform_int(0, 1) == 0 ? rng.uniform_int(1, s.period)
+                                        : std::max<Time>(1, boundary - 2 +
+                                                                rng.uniform_int(0, 4));
+  } else {
+    s.period = rng.uniform_int(1, 1'000'000);
+    s.wcet = rng.uniform_int(1, s.period);
+  }
+  s.deadline = rng.uniform_int(1, s.period);
+  return s;
+}
+
+/// Differential fuzz of the SoA kernel against the scalar path.  Returns
+/// the number of violations found.
+std::uint64_t kernel_fuzz(double seconds, std::uint64_t seed) {
+  Rng rng(seed ^ 0x6b65726e656cULL);  // "kernel"
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t attempts = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t violations = 0;
+  const auto fail = [&](const std::string& what) {
+    ++violations;
+    std::cerr << "KERNEL VIOLATION: " << what << "\n  repro: seed " << seed
+              << ", attempt " << attempts - 1 << '\n';
+  };
+
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+             .count() < seconds) {
+    Rng sample = rng.fork(attempts++);
+    const bool overflow_scale = sample.uniform_int(0, 5) == 0;
+    const auto n = static_cast<std::size_t>(sample.uniform_int(0, 10));
+    std::vector<Subtask> subtasks;
+    subtasks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      subtasks.push_back(random_kernel_subtask(sample, i, overflow_scale));
+    }
+
+    // (a) A rebuilt mirror is consistent, and kernel_analyze (the routed
+    // analyze_processor) agrees bit-for-bit with per-prefix scalar RTA.
+    RtaSoa soa;
+    soa.assign(subtasks);
+    if (!soa.mirrors(subtasks)) fail("assign() mirror inconsistent");
+    const ProcessorRta kernel = kernel_analyze(subtasks);
+    {
+      bool schedulable = true;
+      std::size_t first_miss = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto hp = std::span<const Subtask>(subtasks).first(i);
+        const RtaOutcome out =
+            response_time(subtasks[i].wcet, subtasks[i].deadline, hp);
+        if (!out.schedulable) {
+          schedulable = false;
+          first_miss = i;
+          break;
+        }
+        if (kernel.response[i] != out.response) {
+          fail("kernel_analyze response diverged at index " +
+               std::to_string(i));
+        }
+      }
+      if (kernel.schedulable != schedulable || kernel.first_miss != first_miss) {
+        fail("kernel_analyze verdict diverged from scalar per-prefix RTA");
+      }
+    }
+
+    // (b) Seeded and with-extra twins at a random prefix are bit-identical
+    // to the scalar functions under the same (valid) seed.
+    if (n > 0) {
+      const auto i = static_cast<std::size_t>(
+          sample.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const Subtask probe = subtasks[i];
+      const auto hp = std::span<const Subtask>(subtasks).first(i);
+      const Time seed_value = sample.uniform_int(0, probe.wcet);
+      const RtaOutcome ks = kernel_response_time(
+          subtasks, soa, i, probe.wcet, probe.deadline, seed_value);
+      const RtaOutcome ss =
+          response_time_seeded(probe.wcet, probe.deadline, hp, seed_value);
+      if (ks.schedulable != ss.schedulable || ks.response != ss.response) {
+        fail("kernel_response_time diverged from response_time_seeded");
+      }
+      const Subtask extra = random_kernel_subtask(
+          sample, static_cast<std::size_t>(sample.uniform_int(0, 20)),
+          overflow_scale);
+      const RtaOutcome kw = kernel_response_time_with(
+          subtasks, soa, i, probe.wcet, probe.deadline, extra, seed_value);
+      const RtaOutcome sw = response_time_with(probe.wcet, probe.deadline, hp,
+                                               extra, seed_value);
+      if (kw.schedulable != sw.schedulable || kw.response != sw.response) {
+        fail("kernel_response_time_with diverged from response_time_with");
+      }
+    }
+
+    // (c) Incremental mirror maintenance: inserting the subtasks in a
+    // random order at their priority positions must leave the mirror
+    // indistinguishable from a rebuild at every step.
+    std::vector<Subtask> shuffled = subtasks;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          sample.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(shuffled[i - 1], shuffled[j]);
+    }
+    {
+      RtaSoa incremental;
+      std::vector<Subtask> hosted;
+      for (const Subtask& s : shuffled) {
+        const auto pos_it = std::lower_bound(
+            hosted.begin(), hosted.end(), s,
+            [](const Subtask& a, const Subtask& b) {
+              return a.priority < b.priority;
+            });
+        const auto pos = static_cast<std::size_t>(pos_it - hosted.begin());
+        hosted.insert(pos_it, s);
+        incremental.insert(pos, s);
+        if (!incremental.mirrors(hosted)) {
+          fail("insert() mirror inconsistent after " +
+               std::to_string(hosted.size()) + " insertions");
+          break;
+        }
+      }
+    }
+
+    // (d) Admission: fits() (kernel-routed, seeded from the memoized
+    // cache) and fits_batch() agree with the naive scalar oracle on the
+    // verdict AND the candidate's reported response, and the verdict is
+    // independent of the add() order that built the processor.
+    ProcessorState in_order;
+    for (const Subtask& s : subtasks) in_order.add(s);
+    ProcessorState shuffled_order;
+    for (const Subtask& s : shuffled) shuffled_order.add(s);
+
+    const auto k = static_cast<std::size_t>(sample.uniform_int(1, 4));
+    std::vector<Subtask> candidates;
+    candidates.reserve(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      candidates.push_back(random_kernel_subtask(
+          sample, static_cast<std::size_t>(sample.uniform_int(0, 20)),
+          overflow_scale));
+    }
+    std::vector<KernelFit> verdicts(candidates.size());
+    in_order.fits_batch(candidates, verdicts);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      ++probes;
+      RtaOutcome own;
+      const bool expected = oracle_fits(subtasks, candidates[c], own);
+      if (in_order.fits(candidates[c]) != expected) {
+        fail("fits() diverged from the scalar oracle");
+      }
+      if (shuffled_order.fits(candidates[c]) != expected) {
+        fail("fits() verdict depends on add() order");
+      }
+      if (verdicts[c].fits != expected) {
+        fail("fits_batch() diverged from the scalar oracle");
+      }
+      if (expected && verdicts[c].response != own.response) {
+        fail("fits_batch() candidate response diverged from scalar RTA");
+      }
+    }
+
+    // (e) The jitter kernel keeps the old robustness loop's exact values.
+    if (n > 0) {
+      const auto i = static_cast<std::size_t>(
+          sample.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const auto hp = std::span<const Subtask>(subtasks).first(i);
+      const Time jitter = sample.uniform_int(0, 1) == 0
+                              ? sample.uniform_int(0, 1'000'000)
+                              : sample.uniform_int(0, kTimeInfinity / 4);
+      const Time bound = subtasks[i].period;
+      const auto kj = kernel_jitter_response(subtasks, soa, i,
+                                             subtasks[i].wcet, bound, jitter);
+      const auto sj = oracle_jitter(subtasks[i].wcet, bound, hp, jitter);
+      if (kj != sj) fail("kernel_jitter_response diverged from scalar loop");
+    }
+  }
+
+  std::cout << "rmts_fuzz kernel: " << attempts << " hosted sets, " << probes
+            << " admission probes, " << violations << " violations (seed "
+            << seed << ")\n";
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "kernel") {
+    const double kernel_seconds = argc > 2 ? std::atof(argv[2]) : 10.0;
+    const std::uint64_t kernel_seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    return kernel_fuzz(kernel_seconds, kernel_seed) == 0 ? 0 : 1;
+  }
   if (argc > 1 && std::string(argv[1]) == "proto") {
     const double proto_seconds = argc > 2 ? std::atof(argv[2]) : 10.0;
     const std::uint64_t proto_seed =
