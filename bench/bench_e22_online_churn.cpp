@@ -1,0 +1,232 @@
+// E22: online admission under churn -- sustained churn throughput and
+// admit latency of the long-lived PartitionSession (src/online), and the
+// steady-state packing cost of placing tasks online (arrival order, no
+// repacking beyond the bounded rebalance pass) against the paper's batch
+// RM-TS partitioner given full from-scratch repacking freedom (the E15
+// optimality-gap yardstick, applied to the online/batch axis).
+//
+// Two measurements:
+//
+//  * churn: fill the session to capacity, then drive an admit/depart mix
+//    at several depart fractions ("churn rates"), timing every operation
+//    in-process (HDR nanosecond sketches, reported in microseconds) and
+//    sampling the steady-state utilization the session sustains.  Every
+//    departure is a real resident picked uniformly from the live set.
+//
+//  * utilization gap: replay identical arrival sequences through (a) the
+//    online session, which must accept/reject in order, and (b) a batch
+//    oracle that re-runs RmtsLight from scratch on its whole accepted set
+//    plus each new arrival -- batch may repack everything on every
+//    arrival, online may not.  The utilization gap between the two is
+//    the price of online placement.
+//
+// `--smoke` shrinks op counts to a ~2s plumbing check for ctest; the
+// committed BENCH_e22.json comes from the full run.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "online/session.hpp"
+#include "partition/rmts_light.hpp"
+#include "tasks/task_set.hpp"
+
+namespace {
+
+using namespace rmts;
+
+struct Draw {
+  Time wcet;
+  Time period;
+};
+
+/// One random arrival: log-spread periods, per-task utilization in
+/// [0.03, 0.25] -- the many-small-users shape of the admission-control
+/// north star, heavy enough that packing quality matters.
+Draw draw_task(Rng& rng) {
+  const Time period = rng.uniform_int(1'000, 1'000'000);
+  const double utilization = rng.uniform(0.03, 0.25);
+  const Time wcet = std::max<Time>(
+      1, static_cast<Time>(static_cast<double>(period) * utilization));
+  return {wcet, period};
+}
+
+std::string format_double(double value, const char* spec = "%.4f") {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), spec, value);
+  return buffer;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t processors = 8;
+  const std::size_t churn_ops = smoke ? 4'000 : 200'000;
+  const std::size_t gap_arrivals = smoke ? 120 : 400;
+  const std::size_t gap_seeds = smoke ? 2 : 8;
+  const std::vector<double> churn_rates{0.10, 0.30, 0.45};
+
+  bench::banner(
+      "E22 online churn",
+      "a PartitionSession sustains O(100k) admit/depart ops per second at "
+      "steady state with sub-millisecond p99 admits, within a few percent "
+      "utilization of batch RM-TS repacking",
+      "M = 8, per-task utilization U(0.03, 0.25), periods U(1e3, 1e6); "
+      "churn at depart fractions {0.1, 0.3, 0.45} after filling to "
+      "capacity; gap vs RmtsLight full repacking on identical arrivals");
+
+  // ------------------------------------------------------------ churn --
+  Table churn_table({"churn_rate", "ops", "kqps", "admit_p50_us",
+                     "admit_p99_us", "depart_p99_us", "steady_utilization",
+                     "steady_normalized", "residents", "migrations"});
+
+  for (const double churn_rate : churn_rates) {
+    Rng rng(0xE22 + static_cast<std::uint64_t>(churn_rate * 100));
+    online::SessionConfig config;
+    config.processors = processors;
+    online::PartitionSession session(config);
+
+    // Fill to capacity: admit until 32 consecutive rejects.
+    std::vector<online::Ticket> live;
+    for (std::size_t rejects = 0; rejects < 32;) {
+      const Draw task = draw_task(rng);
+      const online::AdmitResult result = session.admit(task.wcet, task.period);
+      if (result.admitted) {
+        live.push_back(result.ticket);
+        rejects = 0;
+      } else {
+        ++rejects;
+      }
+    }
+
+    Histogram admit_ns;
+    Histogram depart_ns;
+    double utilization_sum = 0.0;
+    std::size_t utilization_samples = 0;
+    const std::uint64_t phase_start = now_ns();
+    for (std::size_t op = 0; op < churn_ops; ++op) {
+      if (!live.empty() && rng.uniform(0.0, 1.0) < churn_rate) {
+        const auto victim = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1));
+        const online::Ticket ticket = live[victim];
+        live[victim] = live.back();
+        live.pop_back();
+        const std::uint64_t start = now_ns();
+        session.depart(ticket);
+        depart_ns.record(now_ns() - start);
+      } else {
+        const Draw task = draw_task(rng);
+        const std::uint64_t start = now_ns();
+        const online::AdmitResult result =
+            session.admit(task.wcet, task.period);
+        admit_ns.record(now_ns() - start);
+        if (result.admitted) live.push_back(result.ticket);
+      }
+      // Steady-state utilization: sample the back half of the phase.
+      if (op >= churn_ops / 2 && op % 64 == 0) {
+        utilization_sum += session.stats().utilization;
+        ++utilization_samples;
+      }
+    }
+    const double elapsed_s =
+        static_cast<double>(now_ns() - phase_start) / 1e9;
+
+    const online::SessionStats stats = session.stats();
+    const double steady = utilization_samples > 0
+                              ? utilization_sum /
+                                    static_cast<double>(utilization_samples)
+                              : stats.utilization;
+    churn_table.add_row(
+        {format_double(churn_rate, "%.2f"), std::to_string(churn_ops),
+         format_double(static_cast<double>(churn_ops) / elapsed_s / 1e3,
+                       "%.1f"),
+         format_double(admit_ns.quantile(0.50) / 1e3, "%.2f"),
+         format_double(admit_ns.quantile(0.99) / 1e3, "%.2f"),
+         format_double(depart_ns.quantile(0.99) / 1e3, "%.2f"),
+         format_double(steady), format_double(steady / processors),
+         std::to_string(stats.resident_tasks),
+         std::to_string(stats.migrations_total)});
+  }
+  churn_table.print_text(std::cout, "E22: churn throughput and latency by depart fraction");
+
+  // --------------------------------------------------- utilization gap --
+  Table gap_table({"seed", "arrivals", "online_accepted", "batch_accepted",
+                   "online_utilization", "batch_utilization", "gap",
+                   "gap_pct_of_m"});
+  const RmtsLight batch;
+  double gap_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < gap_seeds; ++seed) {
+    Rng rng(0x15E22 + seed);
+    online::SessionConfig config;
+    config.processors = processors;
+    online::PartitionSession session(config);
+
+    std::size_t online_accepted = 0;
+    double online_utilization = 0.0;
+    std::vector<std::pair<Time, Time>> batch_set;
+    std::size_t batch_accepted = 0;
+    double batch_utilization = 0.0;
+
+    for (std::size_t arrival = 0; arrival < gap_arrivals; ++arrival) {
+      const Draw task = draw_task(rng);
+      // Online: in arrival order, no repacking.
+      if (session.admit(task.wcet, task.period).admitted) {
+        ++online_accepted;
+        online_utilization += static_cast<double>(task.wcet) /
+                              static_cast<double>(task.period);
+      }
+      // Batch oracle: from-scratch RmtsLight repack of everything it has
+      // accepted so far plus the new arrival; keep it iff that succeeds.
+      batch_set.emplace_back(task.wcet, task.period);
+      const Assignment repacked =
+          batch.partition(TaskSet::from_pairs(batch_set), processors);
+      if (repacked.success) {
+        ++batch_accepted;
+        batch_utilization += static_cast<double>(task.wcet) /
+                             static_cast<double>(task.period);
+      } else {
+        batch_set.pop_back();
+      }
+    }
+
+    const double gap = batch_utilization - online_utilization;
+    gap_sum += gap;
+    gap_table.add_row(
+        {std::to_string(seed), std::to_string(gap_arrivals),
+         std::to_string(online_accepted), std::to_string(batch_accepted),
+         format_double(online_utilization), format_double(batch_utilization),
+         format_double(gap),
+         format_double(100.0 * gap / static_cast<double>(processors),
+                       "%.2f")});
+  }
+  gap_table.print_text(std::cout, "E22: online vs batch-repack utilization on identical arrivals");
+  std::printf("mean utilization gap: %.4f of M = %zu (%.2f%%)\n",
+              gap_sum / static_cast<double>(gap_seeds), processors,
+              100.0 * gap_sum / static_cast<double>(gap_seeds) /
+                  static_cast<double>(processors));
+
+  bench::JsonReport report(
+      "e22",
+      "online PartitionSession churn throughput/latency and steady-state "
+      "utilization gap vs batch RM-TS repacking");
+  report.add_table("churn", churn_table);
+  report.add_table("utilization_gap", gap_table);
+  report.write();
+  return 0;
+}

@@ -19,6 +19,7 @@ std::string_view stage_name(Stage stage) noexcept {
     case Stage::kRouterSimulate: return "router_simulate";
     case Stage::kRouterStats: return "router_stats";
     case Stage::kRouterMetrics: return "router_metrics";
+    case Stage::kRouterSession: return "router_session";
     case Stage::kPoolTaskWait: return "pool_task_wait";
     case Stage::kPoolTaskRun: return "pool_task_run";
     case Stage::kPartitionDedicate: return "partition_dedicate";

@@ -56,6 +56,7 @@ enum class Stage : std::uint8_t {
   kRouterSimulate,
   kRouterStats,
   kRouterMetrics,
+  kRouterSession,  ///< all session_* ops (src/online/session.hpp)
   // Thread pool (src/common/thread_pool.cpp).
   kPoolTaskWait,  ///< post() -> a worker dequeues the task
   kPoolTaskRun,   ///< task body execution
@@ -66,7 +67,7 @@ enum class Stage : std::uint8_t {
   // Simulator (src/sim/simulator.cpp).
   kSimRun,
 };
-inline constexpr std::size_t kStageCount = 16;
+inline constexpr std::size_t kStageCount = 17;
 
 /// Monotonic named counters.
 enum class Counter : std::uint8_t {

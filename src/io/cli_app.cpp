@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <ostream>
+#include <random>
 #include <string>
 
 #include "analysis/robustness.hpp"
@@ -11,6 +12,7 @@
 #include "bounds/scaled_periods.hpp"
 #include "common/error.hpp"
 #include "io/taskset_io.hpp"
+#include "online/session.hpp"
 #include "partition/baselines.hpp"
 #include "partition/edf_split.hpp"
 #include "partition/rmts.hpp"
@@ -32,7 +34,10 @@ constexpr const char* kUsage =
     "                [--fault-factor <f>] [--fault-ticks <t>]\n"
     "                [--fault-prob <p>] [--fault-jitter <j>]\n"
     "                [--fault-seed <s>] [--containment none|budget|demote]\n"
-    "                [--fail-proc <q>] [--fail-at <t>]\n";
+    "                [--fail-proc <q>] [--fail-at <t>]\n"
+    "online replay (ignores -a/-b/--simulate):\n"
+    "                [--online] [--churn-ops <n>] [--churn-rate <r>]\n"
+    "                [--online-seed <s>] [--no-split]\n";
 
 BoundPtr make_bound(const std::string& name) {
   if (name == "ll") return std::make_shared<LiuLaylandBound>();
@@ -68,6 +73,13 @@ struct Options {
   bool gantt = false;
   bool robustness = false;
   FaultModel faults;
+  /// Online replay (--online): feed the set through a PartitionSession as
+  /// an arrival sequence instead of batch-partitioning it.
+  bool online = false;
+  bool online_split = true;
+  std::size_t churn_ops = 0;
+  double churn_rate = 0.5;
+  std::uint64_t online_seed = 42;
 };
 
 ContainmentPolicy parse_containment(const std::string& name) {
@@ -123,6 +135,19 @@ Options parse(const std::vector<std::string>& args) {
           static_cast<std::size_t>(std::stoul(next("--fail-proc")));
     } else if (arg == "--fail-at") {
       options.faults.failure_time = std::stoll(next("--fail-at"));
+    } else if (arg == "--online") {
+      options.online = true;
+    } else if (arg == "--no-split") {
+      options.online_split = false;
+    } else if (arg == "--churn-ops") {
+      options.online = true;
+      options.churn_ops =
+          static_cast<std::size_t>(std::stoul(next("--churn-ops")));
+    } else if (arg == "--churn-rate") {
+      options.online = true;
+      options.churn_rate = std::stod(next("--churn-rate"));
+    } else if (arg == "--online-seed") {
+      options.online_seed = std::stoull(next("--online-seed"));
     } else if (!arg.empty() && arg.front() == '-') {
       throw InvalidConfigError("unknown option: " + arg);
     } else if (options.taskset_path.empty()) {
@@ -137,7 +162,102 @@ Options parse(const std::vector<std::string>& args) {
   if (options.processors == 0) {
     throw InvalidConfigError("need -m <processors> (>= 1)");
   }
+  if (options.churn_rate < 0.0 || options.churn_rate > 1.0) {
+    throw InvalidConfigError("--churn-rate must be in [0, 1]");
+  }
   return options;
+}
+
+/// --online: replays the set through a long-lived PartitionSession --
+/// admit every task in RM order, then (optionally) run a random
+/// admit/depart churn phase -- and reports the final resident set,
+/// lifetime counters and a full invariant check.  Exit code 1 when any
+/// initial arrival is rejected or an invariant is violated.
+int run_online(const Options& options, const TaskSet& tasks,
+               std::ostream& out) {
+  online::SessionConfig config;
+  config.processors = options.processors;
+  config.allow_splitting = options.online_split;
+  online::PartitionSession session(config);
+
+  out << "online replay: " << tasks.size() << " arrivals on M = "
+      << options.processors << (options.online_split ? "" : ", splitting off")
+      << '\n';
+  std::size_t rejected = 0;
+  for (const Task& task : tasks) {
+    const online::AdmitResult result = session.admit(task.wcet, task.period);
+    out << "  admit C=" << task.wcet << " T=" << task.period << " -> ";
+    if (result.admitted) {
+      out << "ticket " << result.ticket;
+      if (result.parts > 1) out << " (split into " << result.parts << " parts)";
+      out << '\n';
+    } else {
+      ++rejected;
+      out << "rejected (" << result.reason << ")\n";
+    }
+  }
+
+  if (options.churn_ops > 0) {
+    std::mt19937_64 rng(options.online_seed);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_int_distribution<std::size_t> pick_task(0, tasks.size() - 1);
+    std::vector<online::Ticket> live;
+    for (const auto& resident : session.residents()) {
+      live.push_back(resident.ticket);
+    }
+    std::size_t admits = 0;
+    std::size_t churn_rejects = 0;
+    std::size_t departs = 0;
+    for (std::size_t op = 0; op < options.churn_ops; ++op) {
+      if (!live.empty() && coin(rng) < options.churn_rate) {
+        std::uniform_int_distribution<std::size_t> slot(0, live.size() - 1);
+        const std::size_t victim = slot(rng);
+        session.depart(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+        ++departs;
+      } else {
+        const Task& task = tasks[pick_task(rng)];
+        const online::AdmitResult result =
+            session.admit(task.wcet, task.period);
+        if (result.admitted) {
+          live.push_back(result.ticket);
+          ++admits;
+        } else {
+          ++churn_rejects;
+        }
+      }
+    }
+    out << "churn: " << options.churn_ops << " ops (seed "
+        << options.online_seed << ", depart rate " << options.churn_rate
+        << "): " << admits << " admitted, " << churn_rejects << " rejected, "
+        << departs << " departed\n";
+  }
+
+  const std::size_t migrations = session.rebalance();
+  if (migrations > 0) {
+    out << "final rebalance: " << migrations << " migrations\n";
+  }
+
+  const online::SessionStats stats = session.stats();
+  out << "resident: " << stats.resident_tasks << " tasks ("
+      << stats.split_residents << " split, " << stats.resident_subtasks
+      << " subtasks), U = " << stats.utilization
+      << ", U_M = " << stats.normalized_utilization << '\n'
+      << "per-processor utilization: min " << stats.min_processor_utilization
+      << ", max " << stats.max_processor_utilization << '\n'
+      << "lifetime: " << stats.admits_total << " admits, "
+      << stats.rejects_total << " rejects, " << stats.departs_total
+      << " departs, " << stats.migrations_total << " migrations over "
+      << stats.rebalance_rounds_total << " rebalance rounds\n";
+
+  const std::string violation = session.check_invariants();
+  if (!violation.empty()) {
+    out << "INVARIANT VIOLATION: " << violation << '\n';
+    return 1;
+  }
+  out << "invariants: ok\n";
+  return rejected == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -169,6 +289,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     out << "  light threshold = " << light_task_threshold(tasks.size())
         << ", RM-TS cap = " << rmts_bound_cap(tasks.size()) << '\n';
   }
+
+  if (options.online) return run_online(options, tasks, out);
 
   std::shared_ptr<const Partitioner> algorithm;
   try {

@@ -10,6 +10,11 @@
 //  * default algorithm: rmts; default bound (for rmts): hc
 //  * --bounds prints every implemented parametric bound for the set
 //  * --simulate validates an accepted partition for two hyperperiods
+//  * --online replays the set through a long-lived PartitionSession
+//    (src/online) instead of batch-partitioning it: every task is admitted
+//    as an arrival, --churn-ops adds a random admit/depart phase
+//    (--churn-rate departures, --online-seed), and the final resident set,
+//    lifetime counters and invariant check are printed
 #pragma once
 
 #include <iosfwd>

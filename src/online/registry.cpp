@@ -1,0 +1,106 @@
+#include "online/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace rmts::online {
+
+SessionId SessionRegistry::open(const SessionConfig& config) {
+  std::unique_lock lock(map_mutex_);
+  if (sessions_.size() >= config_.max_sessions) return 0;
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, std::make_shared<Entry>(config));
+  return id;
+}
+
+bool SessionRegistry::close(SessionId id) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock lock(map_mutex_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    entry = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Fold the departing session's lifetime counters into the closed-
+  // session accumulator so the registry's `_total` counters stay
+  // monotone.  The session mutex is taken OUTSIDE the map lock (same
+  // ordering as lock()/totals()); any in-flight handle finishes first,
+  // so the fold sees its effects.
+  SessionStats stats;
+  {
+    std::lock_guard session_lock(entry->mutex);
+    stats = entry->session.stats();
+  }
+  std::unique_lock lock(map_mutex_);
+  closed_.admits_total += stats.admits_total;
+  closed_.rejects_total += stats.rejects_total;
+  closed_.departs_total += stats.departs_total;
+  closed_.migrations_total += stats.migrations_total;
+  return true;
+}
+
+SessionRegistry::Handle SessionRegistry::lock(SessionId id) const {
+  std::shared_ptr<Entry> entry;
+  {
+    std::shared_lock lock(map_mutex_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return Handle{};
+    entry = it->second;
+  }
+  // The per-session mutex is taken OUTSIDE the map lock: a long admit on
+  // one session must not block opens, closes or lookups of others.
+  return Handle{std::move(entry)};
+}
+
+RegistryTotals SessionRegistry::totals() const {
+  // Snapshot the entries first so per-session stats() calls (which take
+  // each session mutex) never nest inside the map lock.
+  std::vector<std::shared_ptr<Entry>> entries;
+  RegistryTotals totals;
+  {
+    std::shared_lock lock(map_mutex_);
+    entries.reserve(sessions_.size());
+    for (const auto& [id, entry] : sessions_) entries.push_back(entry);
+    totals = closed_;  // lifetime counters of already-closed sessions
+  }
+  totals.sessions_open = entries.size();
+  for (const auto& entry : entries) {
+    std::lock_guard session_lock(entry->mutex);
+    const SessionStats stats = entry->session.stats();
+    totals.resident_tasks += stats.resident_tasks;
+    totals.resident_subtasks += stats.resident_subtasks;
+    totals.admits_total += stats.admits_total;
+    totals.rejects_total += stats.rejects_total;
+    totals.departs_total += stats.departs_total;
+    totals.migrations_total += stats.migrations_total;
+  }
+  return totals;
+}
+
+std::vector<std::pair<SessionId, SessionStats>> SessionRegistry::all_stats()
+    const {
+  std::vector<std::pair<SessionId, std::shared_ptr<Entry>>> entries;
+  {
+    std::shared_lock lock(map_mutex_);
+    entries.reserve(sessions_.size());
+    for (const auto& [id, entry] : sessions_) entries.emplace_back(id, entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<SessionId, SessionStats>> rows;
+  rows.reserve(entries.size());
+  for (const auto& [id, entry] : entries) {
+    std::lock_guard session_lock(entry->mutex);
+    rows.emplace_back(id, entry->session.stats());
+  }
+  return rows;
+}
+
+std::size_t SessionRegistry::size() const {
+  std::shared_lock lock(map_mutex_);
+  return sessions_.size();
+}
+
+}  // namespace rmts::online

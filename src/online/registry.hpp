@@ -1,0 +1,113 @@
+// Thread-safe ownership of PartitionSessions for the server.
+//
+// A PartitionSession is single-threaded by design (its admission caches
+// make even const queries non-reentrant).  The server, however, handles
+// connections on an event loop and may interleave ops on the same
+// session id.  SessionRegistry provides the bridge: a concurrent id ->
+// session map where every session carries its own mutex, so ops on
+// DIFFERENT sessions proceed in parallel while ops on the SAME session
+// serialize.  Lookup returns a Handle that holds both the per-session
+// lock and a shared_ptr keeping the session alive, which makes close()
+// safe against in-flight ops: the entry leaves the map immediately (new
+// lookups miss) and is destroyed when the last handle drains.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "online/session.hpp"
+
+namespace rmts::online {
+
+using SessionId = std::uint64_t;
+
+struct RegistryConfig {
+  /// Hard cap on concurrently open sessions; open() past it fails.
+  std::size_t max_sessions{64};
+};
+
+/// Aggregate counters for /metrics exposition.  The `_total` lifetime
+/// counters cover CLOSED sessions too (close() folds the departing
+/// session's counters into the registry), so they are monotone as
+/// Prometheus counter semantics require; the resident/open fields are
+/// gauges over live sessions only.
+struct RegistryTotals {
+  std::size_t sessions_open{0};
+  std::size_t resident_tasks{0};
+  std::size_t resident_subtasks{0};
+  std::uint64_t admits_total{0};
+  std::uint64_t rejects_total{0};
+  std::uint64_t departs_total{0};
+  std::uint64_t migrations_total{0};
+};
+
+class SessionRegistry {
+ private:
+  struct Entry {
+    explicit Entry(const SessionConfig& config) : session(config) {}
+    std::mutex mutex;
+    PartitionSession session;
+  };
+
+ public:
+  explicit SessionRegistry(const RegistryConfig& config = {})
+      : config_(config) {}
+
+  /// Exclusive access to one session.  Evaluates false when the id is
+  /// unknown (or was closed).  Holds the session's mutex for its
+  /// lifetime -- keep the scope tight.
+  class Handle {
+   public:
+    Handle() = default;
+    explicit operator bool() const noexcept { return entry_ != nullptr; }
+    [[nodiscard]] PartitionSession& session() const noexcept {
+      return entry_->session;
+    }
+
+   private:
+    friend class SessionRegistry;
+    explicit Handle(std::shared_ptr<Entry> entry)
+        : entry_(std::move(entry)), lock_(entry_->mutex) {}
+    std::shared_ptr<Entry> entry_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// Creates a session; returns 0 when the registry is at capacity
+  /// (valid ids start at 1).
+  SessionId open(const SessionConfig& config);
+
+  /// Removes the session from the map and folds its lifetime counters
+  /// into the registry's closed-session accumulator.  In-flight handles
+  /// finish their op on the (now unreachable) session before it is
+  /// destroyed.
+  bool close(SessionId id);
+
+  [[nodiscard]] Handle lock(SessionId id) const;
+
+  /// Aggregates stats over every live session.  Takes each session's
+  /// mutex in turn, so totals are per-session consistent (not a global
+  /// snapshot -- fine for monitoring).
+  [[nodiscard]] RegistryTotals totals() const;
+
+  /// One stats row per live session, id-ascending -- the stats endpoint's
+  /// per-session table and the Prometheus per-session gauges.
+  [[nodiscard]] std::vector<std::pair<SessionId, SessionStats>> all_stats()
+      const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  RegistryConfig config_;
+  mutable std::shared_mutex map_mutex_;
+  std::unordered_map<SessionId, std::shared_ptr<Entry>> sessions_;
+  SessionId next_id_{1};
+  /// Lifetime counters of closed sessions (guarded by map_mutex_).
+  RegistryTotals closed_;
+};
+
+}  // namespace rmts::online

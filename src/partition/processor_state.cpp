@@ -61,6 +61,57 @@ void ProcessorState::add(const Subtask& subtask) {
   utilization_ += subtask.utilization();
 }
 
+void ProcessorState::remove(std::size_t index) {
+  assert(index < subtasks_.size());
+  const auto offset = static_cast<std::ptrdiff_t>(index);
+  if (cache_ != nullptr) {
+    Cache& cache = *cache_;
+    // Keep the SoA mirror in lockstep BEFORE the erase: remove() rebuilds
+    // the suffix prefix sums from the remaining subtasks, so it needs the
+    // post-erase view -- but the consistency check needs the pre-erase
+    // sizes.  If the mirror fell out of step, materialize_cache() rebuilds
+    // it on the next kernel query instead.
+    const bool soa_in_step = cache.soa.size() == subtasks_.size();
+    const bool responses_in_step = cache.response.size() == subtasks_.size();
+    const bool testing_in_step = cache.testing_sets.size() == subtasks_.size();
+    if (responses_in_step) {
+      cache.response.erase(cache.response.begin() + offset);
+      cache.response_valid.erase(cache.response_valid.begin() + offset);
+    }
+    if (testing_in_step) {
+      cache.testing_sets.erase(cache.testing_sets.begin() + offset);
+      cache.testing_valid.erase(cache.testing_valid.begin() + offset);
+    }
+    subtasks_.erase(subtasks_.begin() + offset);
+    if (soa_in_step) cache.soa.remove(index, subtasks_);
+    // Re-seed the shifted suffix from scratch: the interferer set of every
+    // entry at or past `index` just SHRANK, so its stale cached response
+    // (or kTimeInfinity miss marker) is an upper bound -- exactly the
+    // wrong side for a fixed-point seed.  wcet is the unconditional lower
+    // bound; the next warm_responses() pass recomputes exact values.
+    if (responses_in_step) {
+      for (std::size_t i = index; i < subtasks_.size(); ++i) {
+        cache.response[i] = subtasks_[i].wcet;
+        cache.response_valid[i] = 0;
+      }
+      cache.warm_prefix = std::min(cache.warm_prefix, index);
+    }
+    if (testing_in_step) {
+      for (std::size_t i = index; i < subtasks_.size(); ++i) {
+        cache.testing_valid[i] = 0;
+      }
+    }
+  } else {
+    subtasks_.erase(subtasks_.begin() + offset);
+  }
+  // Rebuilding the sum instead of subtracting avoids floating-point drift
+  // over a long-lived session's admit/depart churn (a departed task's
+  // utilization does not cancel its own admission exactly); O(n) like the
+  // erase above.
+  utilization_ = 0.0;
+  for (const Subtask& s : subtasks_) utilization_ += s.utilization();
+}
+
 ProcessorState::Cache& ProcessorState::materialize_cache() const {
   if (cache_ == nullptr) cache_ = std::make_unique<Cache>();
   Cache& cache = *cache_;

@@ -16,14 +16,19 @@ namespace rmts {
 ///
 /// Admission cache: the exact response time of every hosted subtask (and,
 /// lazily, its time-demand testing set) is memoized and invalidated only
-/// when a higher-priority subtask is added -- insertion at position p
-/// leaves entries before p untouched.  Even invalidated entries keep their
-/// stale value: the hosted set only ever grows, so a response computed
-/// under a subset of the current interferers is a valid lower bound and
-/// seeds the re-analysis (see response_time_seeded).  This is what lets
-/// the worst-fit candidate scans of RM-TS(/light), SPA1/2 and the P-RM
-/// baselines, and the MaxSplit binary search, stop re-running full
-/// processor RTA from zero on every fits() probe.
+/// when the set changes at or above its position -- insertion or removal
+/// at position p leaves entries before p untouched.  After an add(),
+/// invalidated entries keep their stale value: the set only grew, so a
+/// response computed under a subset of the current interferers is a valid
+/// lower bound and seeds the re-analysis (see response_time_seeded).
+/// After a remove() the direction flips -- the interferer set SHRANK, a
+/// stale value is an upper bound and a cached miss may now fit -- so
+/// remove() re-seeds the suffix from each subtask's own wcet instead
+/// (the unconditionally valid lower bound).  This is what lets the
+/// worst-fit candidate scans of RM-TS(/light), SPA1/2 and the P-RM
+/// baselines, the MaxSplit binary search, and the online
+/// PartitionSession's churn loop stop re-running full processor RTA from
+/// zero on every fits() probe.
 ///
 /// The caches make the const query methods non-reentrant: confine an
 /// instance to one thread (partitioning runs are sequential; parallel
@@ -62,6 +67,21 @@ class ProcessorState {
   /// having verified schedulability (see fits()).  Invalidates the cached
   /// responses and testing sets of every lower-priority hosted subtask.
   void add(const Subtask& subtask);
+
+  /// Removes the hosted subtask at `index` (position in subtasks()).  The
+  /// online session's depart path.  Removal shrinks the interferer set of
+  /// every lower-priority subtask, so their memoized responses become
+  /// stale UPPER bounds -- unsound as seeds for the seeded fixed-point
+  /// re-analysis, which converges to the least fixed point only from
+  /// below -- and a cached kTimeInfinity "known miss" may now be
+  /// schedulable.  The suffix is therefore re-seeded from each subtask's
+  /// own wcet rather than keeping stale values the way add() can; entries
+  /// before `index` keep their exact responses (their interferers are all
+  /// at positions < index and did not change).  Does not touch full():
+  /// whether vacated capacity reopens a sealed processor is the caller's
+  /// policy (the batch partitioners' bottleneck argument is not
+  /// invalidated by removals they never make).
+  void remove(std::size_t index);
 
   /// Exact-RTA admission: true iff all current subtasks plus `candidate`
   /// meet their (synthetic) deadlines.  Only the candidate and the

@@ -190,6 +190,37 @@ void RtaSoa::insert(std::size_t pos, const Subtask& subtask) {
       hosted_fast_ && subtask.wcet >= 1 && subtask.deadline < kFastBound;
 }
 
+void RtaSoa::remove(std::size_t pos, std::span<const Subtask> remaining) {
+  assert(pos < size());
+  assert(remaining.size() + 1 == size());
+  const auto offset = static_cast<std::ptrdiff_t>(pos);
+  periods_.erase(periods_.begin() + offset);
+  wcets_.erase(wcets_.begin() + offset);
+  div_mul_.erase(div_mul_.begin() + offset);
+  // Prefixes [0, pos] never contained the removed entry and stay exact;
+  // everything after is recomputed from the true 64-bit wcets (a
+  // saturated sum cannot be decremented in place, and re-deriving from
+  // the clamped wcets32 would diverge from assign()).
+  prefix_wcet_.pop_back();
+  for (std::size_t j = pos; j < remaining.size(); ++j) {
+    prefix_wcet_[j + 1] =
+        sat_add(prefix_wcet_[j], static_cast<std::uint64_t>(
+                                     std::max<Time>(0, remaining[j].wcet)));
+  }
+  // Both guards may have been pinned by the removed entry; rescan.  The
+  // per-element magic multipliers are position-independent and survive
+  // the erase untouched.
+  fast_prefix_ = remaining.size();
+  hosted_fast_ = true;
+  for (std::size_t j = 0; j < remaining.size(); ++j) {
+    if (!period_eligible(remaining[j].period) && j < fast_prefix_) {
+      fast_prefix_ = j;
+    }
+    hosted_fast_ = hosted_fast_ && remaining[j].wcet >= 1 &&
+                   remaining[j].deadline < kFastBound;
+  }
+}
+
 bool RtaSoa::mirrors(std::span<const Subtask> subtasks) const {
   RtaSoa fresh;
   fresh.assign(subtasks);

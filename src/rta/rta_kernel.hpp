@@ -156,6 +156,16 @@ class RtaSoa {
   /// O(n - pos) like the vector insert it shadows.
   void insert(std::size_t pos, const Subtask& subtask);
 
+  /// Mirrors a removal at `pos`.  `remaining` is the hosted set AFTER the
+  /// erase (what subtasks() returns once the caller has removed the
+  /// entry).  Unlike insert(), the derived suffix state cannot be patched
+  /// from the stored arrays alone -- a saturated prefix sum does not
+  /// remember what it absorbed, the clamped 32-bit wcets are lossy, and
+  /// the removed entry may have been the one pinning fast_prefix_ or
+  /// hosted_fast_ -- so the suffix sums and both guards are recomputed
+  /// from the true subtask values.  O(n), the same as the vector erases.
+  void remove(std::size_t pos, std::span<const Subtask> remaining);
+
   void clear() noexcept;
 
   [[nodiscard]] std::size_t size() const noexcept { return periods_.size(); }

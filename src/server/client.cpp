@@ -376,4 +376,92 @@ std::string make_metrics_request(std::int64_t id) {
   return w.str();
 }
 
+namespace {
+
+/// Shared prologue of every session op: op name, optional id/deadline and
+/// the target session (0 = omit, for session_open).
+void begin_session_request(JsonWriter& w, std::string_view op,
+                           std::uint64_t session, std::int64_t id,
+                           std::int64_t deadline_ms) {
+  w.begin_object();
+  w.key("op");
+  w.value(op);
+  if (id >= 0) {
+    w.key("id");
+    w.value(id);
+  }
+  if (deadline_ms > 0) {
+    w.key("deadline_ms");
+    w.value(deadline_ms);
+  }
+  if (session != 0) {
+    w.key("session");
+    w.value(session);
+  }
+}
+
+}  // namespace
+
+std::string make_session_open_request(std::size_t processors, bool split,
+                                      std::int64_t id,
+                                      std::int64_t deadline_ms) {
+  JsonWriter w;
+  begin_session_request(w, "session_open", 0, id, deadline_ms);
+  w.key("m");
+  w.value(processors);
+  w.key("split");
+  w.value(split);
+  w.end_object();
+  return w.str();
+}
+
+std::string make_session_admit_request(std::uint64_t session, Time wcet,
+                                       Time period, std::int64_t id,
+                                       std::int64_t deadline_ms) {
+  JsonWriter w;
+  begin_session_request(w, "session_admit", session, id, deadline_ms);
+  w.key("wcet");
+  w.value(static_cast<std::int64_t>(wcet));
+  w.key("period");
+  w.value(static_cast<std::int64_t>(period));
+  w.end_object();
+  return w.str();
+}
+
+std::string make_session_depart_request(std::uint64_t session,
+                                        std::uint64_t ticket, std::int64_t id,
+                                        std::int64_t deadline_ms) {
+  JsonWriter w;
+  begin_session_request(w, "session_depart", session, id, deadline_ms);
+  w.key("ticket");
+  w.value(ticket);
+  w.end_object();
+  return w.str();
+}
+
+std::string make_session_rebalance_request(std::uint64_t session,
+                                           std::int64_t id,
+                                           std::int64_t deadline_ms) {
+  JsonWriter w;
+  begin_session_request(w, "session_rebalance", session, id, deadline_ms);
+  w.end_object();
+  return w.str();
+}
+
+std::string make_session_stats_request(std::uint64_t session,
+                                       std::int64_t id) {
+  JsonWriter w;
+  begin_session_request(w, "session_stats", session, id, 0);
+  w.end_object();
+  return w.str();
+}
+
+std::string make_session_close_request(std::uint64_t session,
+                                       std::int64_t id) {
+  JsonWriter w;
+  begin_session_request(w, "session_close", session, id, 0);
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace rmts::server

@@ -146,4 +146,22 @@ class Client {
 [[nodiscard]] std::string make_stats_request(std::int64_t id = -1);
 [[nodiscard]] std::string make_metrics_request(std::int64_t id = -1);
 
+/// Online-session ops (op session_*): a session_open creates a long-lived
+/// mutable partition on the server; admit/depart mutate it by ticket.
+[[nodiscard]] std::string make_session_open_request(
+    std::size_t processors, bool split = true, std::int64_t id = -1,
+    std::int64_t deadline_ms = 0);
+[[nodiscard]] std::string make_session_admit_request(
+    std::uint64_t session, Time wcet, Time period, std::int64_t id = -1,
+    std::int64_t deadline_ms = 0);
+[[nodiscard]] std::string make_session_depart_request(
+    std::uint64_t session, std::uint64_t ticket, std::int64_t id = -1,
+    std::int64_t deadline_ms = 0);
+[[nodiscard]] std::string make_session_rebalance_request(
+    std::uint64_t session, std::int64_t id = -1, std::int64_t deadline_ms = 0);
+[[nodiscard]] std::string make_session_stats_request(std::uint64_t session,
+                                                     std::int64_t id = -1);
+[[nodiscard]] std::string make_session_close_request(std::uint64_t session,
+                                                     std::int64_t id = -1);
+
 }  // namespace rmts::server

@@ -7,7 +7,9 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -92,6 +94,108 @@ std::int64_t retry_backoff_ms(const RetryPolicy& policy, int next_attempt,
   backoff = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(static_cast<double>(backoff) * factor));
   return std::max<std::int64_t>(backoff, hint_ms);
+}
+
+/// Digits immediately following `key` in a whitespace-free JSON reply;
+/// 0 when the key is absent (our ids and tickets start at 1).
+std::uint64_t parse_u64_field(const std::string& reply,
+                              std::string_view key) noexcept {
+  const std::size_t pos = reply.find(key);
+  if (pos == std::string::npos) return 0;
+  std::size_t i = pos + key.size();
+  std::uint64_t value = 0;
+  bool any = false;
+  while (i < reply.size() && reply[i] >= '0' && reply[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(reply[i] - '0');
+    any = true;
+    ++i;
+  }
+  return any ? value : 0;
+}
+
+/// One connection's session-churn loop: open a private session, then an
+/// admit/depart mix with live-ticket tracking until the deadline.
+void run_session_churn(Client& client, const LoadConfig& config,
+                       std::span<const std::pair<Time, Time>> churn_pool,
+                       Clock::time_point deadline, LoadReport& report,
+                       Rng& pick) {
+  const RetryPolicy policy{config.max_attempts, 10, 2000, 0.3};
+  const std::string open_line =
+      make_session_open_request(config.processors, /*split=*/true);
+  const std::string open_reply = client.request(open_line);
+  const std::uint64_t session = parse_u64_field(open_reply, "\"session\":");
+  if (session == 0) {
+    // The registry is full (or the reply was an error): nothing to churn.
+    ++report.errors;
+    return;
+  }
+
+  std::vector<std::uint64_t> tickets;
+  while (Clock::now() < deadline) {
+    const bool depart =
+        !tickets.empty() && pick.uniform() < config.churn_rate;
+    std::size_t slot = 0;
+    std::string line;
+    OpClass cls;
+    if (depart) {
+      slot = static_cast<std::size_t>(pick.uniform_int(
+          0, static_cast<std::int64_t>(tickets.size()) - 1));
+      line = make_session_depart_request(session, tickets[slot], -1,
+                                         config.deadline_ms);
+      cls = OpClass::kSessionDepart;
+    } else {
+      const auto& [wcet, period] = churn_pool[static_cast<std::size_t>(
+          pick.uniform_int(0, static_cast<std::int64_t>(churn_pool.size()) -
+                                  1))];
+      line = make_session_admit_request(session, wcet, period, -1,
+                                        config.deadline_ms);
+      cls = OpClass::kSessionAdmit;
+    }
+
+    const auto sent = Clock::now();
+    std::string reply;
+    if (config.retry) {
+      RetryResult r = client.request_with_retry(line, policy);
+      report.requests += static_cast<std::uint64_t>(
+          r.attempts > 1 ? r.attempts - 1 : 0);
+      report.shed +=
+          static_cast<std::uint64_t>(r.attempts > 1 ? r.attempts - 1 : 0);
+      report.retries += static_cast<std::uint64_t>(r.attempts - 1);
+      reply = std::move(r.reply);
+    } else {
+      reply = client.request(line);
+    }
+    const auto micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              sent)
+            .count());
+
+    ++report.offered;
+    ++report.requests;
+    const ReplyKind kind = classify(reply, cls, report);
+    report.latency_us.record(micros);
+    report.per_op_latency_us[static_cast<std::size_t>(cls)].record(micros);
+
+    // Ticket bookkeeping only moves on an ok reply: a shed/expired admit
+    // placed nothing, a shed depart removed nothing.
+    if (kind != ReplyKind::kOk) continue;
+    if (depart) {
+      // The server forgets the ticket even on departed:false (it never
+      // existed there); either way it must leave the live list.
+      tickets[slot] = tickets.back();
+      tickets.pop_back();
+    } else {
+      const std::uint64_t ticket = parse_u64_field(reply, "\"ticket\":");
+      if (ticket != 0) tickets.push_back(ticket);
+    }
+  }
+  // Best-effort close so a long bench run does not leak registry slots;
+  // the reply still counts toward the latency-free totals.
+  try {
+    (void)client.request(make_session_close_request(session));
+  } catch (const TransportError&) {
+    // The measurement window is over; a lost close changes nothing.
+  }
 }
 
 /// Poisson arrival state for one open-loop sender: draws exponential
@@ -277,6 +381,8 @@ std::string_view op_class_name(OpClass op) noexcept {
     case OpClass::kRobustness: return "robustness";
     case OpClass::kSimulate: return "simulate";
     case OpClass::kStats: return "stats";
+    case OpClass::kSessionAdmit: return "session_admit";
+    case OpClass::kSessionDepart: return "session_depart";
   }
   return "unknown";
 }
@@ -317,6 +423,14 @@ LoadReport run_load(const LoadConfig& config) {
   if (config.offered_qps < 0.0 || !std::isfinite(config.offered_qps)) {
     throw InvalidConfigError("run_load: offered_qps must be finite and >= 0");
   }
+  if (config.session && config.offered_qps > 0.0) {
+    // Departs need the admit reply's ticket before they can be issued, so
+    // churn is inherently closed-loop per connection.
+    throw InvalidConfigError("run_load: session churn is closed-loop only");
+  }
+  if (!(config.churn_rate >= 0.0 && config.churn_rate <= 1.0)) {
+    throw InvalidConfigError("run_load: churn_rate must be in [0, 1]");
+  }
 
   // Pre-generate the task-set pool and render every request string once;
   // the hot loop only moves bytes.
@@ -332,8 +446,20 @@ LoadReport run_load(const LoadConfig& config) {
     pool.push_back(generate(sample, workload));
   }
 
+  // Session churn draws individual tasks, not whole sets: flatten the
+  // pool into (wcet, period) pairs once.
+  std::vector<std::pair<Time, Time>> churn_pool;
+  if (config.session) {
+    for (const TaskSet& tasks : pool) {
+      for (const Task& task : tasks) {
+        churn_pool.emplace_back(task.wcet, task.period);
+      }
+    }
+  }
+
   std::vector<OpRequests> ops;
   const auto add_op = [&](OpClass cls, double weight, auto&& encode) {
+    if (config.session) return;  // the churn loop builds its own requests
     if (weight <= 0.0) return;
     OpRequests op;
     op.cls = cls;
@@ -362,7 +488,7 @@ LoadReport run_load(const LoadConfig& config) {
   });
   add_op(OpClass::kStats, config.mix.stats,
          [&](const TaskSet&) { return make_stats_request(); });
-  if (ops.empty()) {
+  if (ops.empty() && !config.session) {
     throw InvalidConfigError("run_load: the op mix is empty");
   }
   double total_weight = 0.0;
@@ -389,7 +515,10 @@ LoadReport run_load(const LoadConfig& config) {
                       config.seed ^ (0xC11E57ULL + c));
         Rng pick = Rng(config.seed).fork(0x10000 + c);
 
-        if (open_loop) {
+        if (config.session) {
+          run_session_churn(client, config, churn_pool, deadline, local,
+                            pick);
+        } else if (open_loop) {
           // Sender/receiver pair over one connection: sends never wait
           // for replies, so offered load is independent of service rate.
           ArrivalProcess arrivals{

@@ -45,8 +45,10 @@ enum class OpClass : std::uint8_t {
   kRobustness,
   kSimulate,
   kStats,
+  kSessionAdmit,   ///< session churn mode: one task admitted by ticket
+  kSessionDepart,  ///< session churn mode: one resident ticket departed
 };
-inline constexpr std::size_t kOpClassCount = 5;
+inline constexpr std::size_t kOpClassCount = 7;
 
 [[nodiscard]] std::string_view op_class_name(OpClass op) noexcept;
 
@@ -94,6 +96,17 @@ struct LoadConfig {
   /// retry_after_ms hint), up to max_attempts total tries each.
   bool retry{false};
   int max_attempts{4};
+
+  /// Session churn mode (closed loop only): each connection opens its own
+  /// long-lived session (session_open, m = `processors`) and drives an
+  /// admit/depart mix against it, tracking the tickets of its live
+  /// residents so departs always name a real one.  The `mix` field is
+  /// ignored in this mode; per-op tables report kSessionAdmit /
+  /// kSessionDepart instead.
+  bool session{false};
+  /// Fraction of churn ops that are departures (the rest admit).  0 keeps
+  /// a grow-only session; 0.5 holds the resident count roughly steady.
+  double churn_rate{0.0};
 };
 
 /// Aggregated outcome of one run.  "shed" counts explicit overload

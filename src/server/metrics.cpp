@@ -9,6 +9,7 @@ std::string_view endpoint_name(Endpoint endpoint) noexcept {
     case Endpoint::kAnalyze: return "analyze";
     case Endpoint::kRobustness: return "robustness";
     case Endpoint::kSimulate: return "simulate";
+    case Endpoint::kSession: return "session";
     case Endpoint::kStats: return "stats";
     case Endpoint::kMetrics: return "metrics";
     case Endpoint::kMalformed: return "malformed";

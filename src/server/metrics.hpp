@@ -30,11 +30,12 @@ enum class Endpoint : std::uint8_t {
   kAnalyze,
   kRobustness,
   kSimulate,
+  kSession,  ///< all session_* ops (open/admit/depart/rebalance/stats/close)
   kStats,
   kMetrics,
   kMalformed,
 };
-inline constexpr std::size_t kEndpointCount = 8;
+inline constexpr std::size_t kEndpointCount = 9;
 
 [[nodiscard]] std::string_view endpoint_name(Endpoint endpoint) noexcept;
 

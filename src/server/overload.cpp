@@ -56,6 +56,7 @@ std::string_view budget_class_name(BudgetClass cls) noexcept {
     case BudgetClass::kAnalyze: return "analyze";
     case BudgetClass::kRobustness: return "robustness";
     case BudgetClass::kSimulate: return "simulate";
+    case BudgetClass::kSession: return "session";
   }
   return "unknown";
 }
@@ -69,6 +70,7 @@ bool budget_class_of(Endpoint endpoint, BudgetClass& out) noexcept {
     case Endpoint::kAnalyze: out = BudgetClass::kAnalyze; return true;
     case Endpoint::kRobustness: out = BudgetClass::kRobustness; return true;
     case Endpoint::kSimulate: out = BudgetClass::kSimulate; return true;
+    case Endpoint::kSession: out = BudgetClass::kSession; return true;
     case Endpoint::kStats:
     case Endpoint::kMetrics:
     case Endpoint::kMalformed: return false;
@@ -197,6 +199,11 @@ RequestPeek peek_request(std::string_view line) noexcept {
           peek.budgeted = true;
         } else if (op == "simulate") {
           peek.cls = BudgetClass::kSimulate;
+          peek.budgeted = true;
+        } else if (op.starts_with("session_")) {
+          // All session ops share one budget; even session_stats takes the
+          // per-session mutex, so it queues behind mutations anyway.
+          peek.cls = BudgetClass::kSession;
           peek.budgeted = true;
         }
         // stats / metrics / anything else: un-budgeted.

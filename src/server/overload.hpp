@@ -58,8 +58,9 @@ enum class BudgetClass : std::uint8_t {
   kAnalyze,
   kRobustness,
   kSimulate,
+  kSession,  ///< online-session mutations (admit/depart/rebalance/open)
 };
-inline constexpr std::size_t kBudgetClassCount = 4;
+inline constexpr std::size_t kBudgetClassCount = 5;
 
 [[nodiscard]] std::string_view budget_class_name(BudgetClass cls) noexcept;
 
@@ -82,6 +83,7 @@ struct OverloadConfig {
       200'000,    // analyze: full RTA detail
       2'000'000,  // robustness: bisection over simulations
       500'000,    // simulate
+      20'000,     // session: incremental-RTA churn, admit-like cost
   };
   /// Starvation floor and cap for every budget.
   std::size_t min_budget{1};

@@ -483,6 +483,155 @@ void handle_simulate(JsonWriter& w, const JsonValue& request,
   }
 }
 
+// ------------------------------------------------- online sessions ------
+//
+// The session_* ops expose src/online/ over the wire: a session_open
+// creates a long-lived PartitionSession in the router's registry; admit /
+// depart / rebalance mutate it under its per-session mutex.  Rejections
+// ("no placement passes exact RTA", unknown ticket) are normal ok:true
+// replies, mirroring the batch admit's accepted:false philosophy; only
+// unparseable requests and unknown session ids are errors.
+
+online::SessionConfig parse_session_config(const JsonValue& request,
+                                           const RouterConfig& config) {
+  online::SessionConfig session;
+  session.processors = static_cast<std::size_t>(
+      require_int(request, "m", 1,
+                  static_cast<std::int64_t>(config.max_session_processors)));
+  const JsonValue* split = request.find("split");
+  if (split != nullptr) {
+    if (!split->is_bool()) reject("field 'split' must be a boolean");
+    session.allow_splitting = split->as_bool();
+  }
+  session.split_granularity =
+      optional_int(request, "granularity", 1, 1, 1'000'000'000);
+  session.rebalance_every = static_cast<std::size_t>(
+      optional_int(request, "rebalance_every", 16, 0, 1'000'000));
+  session.max_migrations_per_round = static_cast<std::size_t>(
+      optional_int(request, "max_migrations", 4, 0, 1'000'000));
+  session.hysteresis = optional_double(request, "hysteresis", 0.10, 0.0, 1.0);
+  session.max_resident = static_cast<std::size_t>(optional_int(
+      request, "max_resident",
+      static_cast<std::int64_t>(config.max_session_residents), 1,
+      static_cast<std::int64_t>(config.max_session_residents)));
+  return session;
+}
+
+void handle_session_open(JsonWriter& w, const JsonValue& request,
+                         const RouterConfig& config,
+                         online::SessionRegistry& sessions) {
+  const online::SessionConfig session = parse_session_config(request, config);
+  const online::SessionId id = sessions.open(session);
+  if (id == 0) {
+    reject("too many open sessions (limit " +
+           std::to_string(config.max_sessions) + ")");
+  }
+  w.key("session");
+  w.value(id);
+  w.key("processors");
+  w.value(session.processors);
+  w.key("max_resident");
+  w.value(session.max_resident);
+}
+
+/// Locks the session named by the request's required `session` field;
+/// rejects when the id is unknown (or already closed).
+online::SessionRegistry::Handle lock_session(
+    const JsonValue& request, const online::SessionRegistry& sessions) {
+  const std::int64_t id = require_int(
+      request, "session", 1, std::numeric_limits<std::int64_t>::max());
+  online::SessionRegistry::Handle handle =
+      sessions.lock(static_cast<online::SessionId>(id));
+  if (!handle) reject("unknown session " + std::to_string(id));
+  return handle;
+}
+
+void handle_session_admit(JsonWriter& w, const JsonValue& request,
+                          const online::SessionRegistry& sessions) {
+  const std::int64_t wcet =
+      require_int(request, "wcet", 1, online::PartitionSession::kMaxPeriod);
+  const std::int64_t period =
+      require_int(request, "period", 1, online::PartitionSession::kMaxPeriod);
+  const online::SessionRegistry::Handle handle =
+      lock_session(request, sessions);
+  const online::AdmitResult result = handle.session().admit(wcet, period);
+  w.key("accepted");
+  w.value(result.admitted);
+  if (result.admitted) {
+    w.key("ticket");
+    w.value(result.ticket);
+    w.key("parts");
+    w.value(result.parts);
+  } else {
+    w.key("reason");
+    w.value(result.reason);
+  }
+}
+
+void handle_session_depart(JsonWriter& w, const JsonValue& request,
+                           const online::SessionRegistry& sessions) {
+  const std::int64_t ticket = require_int(
+      request, "ticket", 1, std::numeric_limits<std::int64_t>::max());
+  const online::SessionRegistry::Handle handle =
+      lock_session(request, sessions);
+  const bool departed =
+      handle.session().depart(static_cast<online::Ticket>(ticket));
+  w.key("departed");
+  w.value(departed);
+}
+
+void handle_session_rebalance(JsonWriter& w, const JsonValue& request,
+                              const online::SessionRegistry& sessions) {
+  const online::SessionRegistry::Handle handle =
+      lock_session(request, sessions);
+  w.key("migrations");
+  w.value(handle.session().rebalance());
+}
+
+void write_session_stats(JsonWriter& w, const online::SessionStats& stats) {
+  w.key("processors");
+  w.value(stats.processors);
+  w.key("resident_tasks");
+  w.value(stats.resident_tasks);
+  w.key("resident_subtasks");
+  w.value(stats.resident_subtasks);
+  w.key("split_residents");
+  w.value(stats.split_residents);
+  w.key("admits");
+  w.value(stats.admits_total);
+  w.key("rejects");
+  w.value(stats.rejects_total);
+  w.key("departs");
+  w.value(stats.departs_total);
+  w.key("migrations");
+  w.value(stats.migrations_total);
+  w.key("rebalance_rounds");
+  w.value(stats.rebalance_rounds_total);
+  w.key("utilization");
+  w.value(stats.utilization);
+  w.key("normalized_utilization");
+  w.value(stats.normalized_utilization);
+  w.key("min_processor_utilization");
+  w.value(stats.min_processor_utilization);
+  w.key("max_processor_utilization");
+  w.value(stats.max_processor_utilization);
+}
+
+void handle_session_stats(JsonWriter& w, const JsonValue& request,
+                          const online::SessionRegistry& sessions) {
+  const online::SessionRegistry::Handle handle =
+      lock_session(request, sessions);
+  write_session_stats(w, handle.session().stats());
+}
+
+void handle_session_close(JsonWriter& w, const JsonValue& request,
+                          online::SessionRegistry& sessions) {
+  const std::int64_t id = require_int(
+      request, "session", 1, std::numeric_limits<std::int64_t>::max());
+  w.key("closed");
+  w.value(sessions.close(static_cast<online::SessionId>(id)));
+}
+
 void write_endpoint_stats(JsonWriter& w, const Metrics& metrics,
                           Endpoint endpoint) {
   const Metrics::EndpointSnapshot snap = metrics.snapshot(endpoint);
@@ -585,6 +734,7 @@ trace::Stage stage_of(Endpoint endpoint) noexcept {
     case Endpoint::kAnalyze: return trace::Stage::kRouterAnalyze;
     case Endpoint::kRobustness: return trace::Stage::kRouterRobustness;
     case Endpoint::kSimulate: return trace::Stage::kRouterSimulate;
+    case Endpoint::kSession: return trace::Stage::kRouterSession;
     case Endpoint::kStats: return trace::Stage::kRouterStats;
     case Endpoint::kMetrics: return trace::Stage::kRouterMetrics;
     case Endpoint::kMalformed: break;
@@ -697,6 +847,41 @@ void expose_runtime(std::ostringstream& out, const RuntimeStats& runtime) {
   }
 }
 
+/// Online-session gauges: per-session resident tasks / utilization /
+/// migrations (labelled by session id) plus aggregate op totals.  The
+/// aggregates come from the registry's RegistryTotals, which fold in
+/// closed sessions, so the `_total` series are monotone; the per-session
+/// labelled series simply disappear when their session closes.
+void expose_sessions(
+    std::ostringstream& out,
+    const std::vector<std::pair<online::SessionId, online::SessionStats>>&
+        rows,
+    const online::RegistryTotals& totals) {
+  out << "# TYPE rmts_sessions_open gauge\n"
+      << "rmts_sessions_open " << rows.size() << '\n';
+  out << "# TYPE rmts_session_resident_tasks gauge\n";
+  for (const auto& [sid, stats] : rows) {
+    out << "rmts_session_resident_tasks{session=\"" << sid << "\"} "
+        << stats.resident_tasks << '\n';
+  }
+  out << "# TYPE rmts_session_utilization gauge\n";
+  for (const auto& [sid, stats] : rows) {
+    out << "rmts_session_utilization{session=\"" << sid << "\"} "
+        << prom_number(stats.utilization) << '\n';
+  }
+  out << "# TYPE rmts_session_migrations_total counter\n";
+  for (const auto& [sid, stats] : rows) {
+    out << "rmts_session_migrations_total{session=\"" << sid << "\"} "
+        << stats.migrations_total << '\n';
+  }
+  out << "# TYPE rmts_session_admits_total counter\n"
+      << "rmts_session_admits_total " << totals.admits_total << '\n'
+      << "# TYPE rmts_session_rejects_total counter\n"
+      << "rmts_session_rejects_total " << totals.rejects_total << '\n'
+      << "# TYPE rmts_session_departs_total counter\n"
+      << "rmts_session_departs_total " << totals.departs_total << '\n';
+}
+
 void expose_trace(std::ostringstream& out) {
   if (!trace::compiled_in()) return;
   const trace::Snapshot snap = trace::snapshot();
@@ -738,7 +923,10 @@ void expose_trace(std::ostringstream& out) {
 
 Router::Router(RouterConfig config, const Metrics& metrics,
                std::function<RuntimeStats()> runtime)
-    : config_(config), metrics_(metrics), runtime_(std::move(runtime)) {}
+    : config_(config),
+      metrics_(metrics),
+      runtime_(std::move(runtime)),
+      sessions_(online::RegistryConfig{config.max_sessions}) {}
 
 HandleOutcome Router::handle(std::string_view line) const {
   JsonValue request;
@@ -769,6 +957,10 @@ HandleOutcome Router::handle(std::string_view line) const {
     endpoint = Endpoint::kRobustness;
   } else if (op == "simulate") {
     endpoint = Endpoint::kSimulate;
+  } else if (op == "session_open" || op == "session_admit" ||
+             op == "session_depart" || op == "session_rebalance" ||
+             op == "session_stats" || op == "session_close") {
+    endpoint = Endpoint::kSession;
   } else if (op == "stats") {
     endpoint = Endpoint::kStats;
   } else if (op == "metrics") {
@@ -806,6 +998,22 @@ HandleOutcome Router::handle(std::string_view line) const {
       case Endpoint::kAnalyze: handle_analyze(w, request, config_); break;
       case Endpoint::kRobustness: handle_robustness(w, request, config_); break;
       case Endpoint::kSimulate: handle_simulate(w, request, config_); break;
+      case Endpoint::kSession: {
+        if (op == "session_open") {
+          handle_session_open(w, request, config_, sessions_);
+        } else if (op == "session_admit") {
+          handle_session_admit(w, request, sessions_);
+        } else if (op == "session_depart") {
+          handle_session_depart(w, request, sessions_);
+        } else if (op == "session_rebalance") {
+          handle_session_rebalance(w, request, sessions_);
+        } else if (op == "session_stats") {
+          handle_session_stats(w, request, sessions_);
+        } else {
+          handle_session_close(w, request, sessions_);
+        }
+        break;
+      }
       case Endpoint::kStats: {
         if (runtime_) {
           const RuntimeStats runtime = runtime_();
@@ -824,6 +1032,38 @@ HandleOutcome Router::handle(std::string_view line) const {
           w.key("in_flight");
           w.value(runtime.in_flight);
           write_overload_stats(w, runtime);
+        }
+        // Online sessions: one aggregate block (lifetime counters fold
+        // in closed sessions; resident_tasks is a live gauge) plus a
+        // per-session table of each live session's full stats.
+        {
+          const auto rows = sessions_.all_stats();
+          const online::RegistryTotals totals = sessions_.totals();
+          w.key("sessions");
+          w.begin_object();
+          w.key("open");
+          w.value(rows.size());
+          w.key("resident_tasks");
+          w.value(totals.resident_tasks);
+          w.key("admits");
+          w.value(totals.admits_total);
+          w.key("rejects");
+          w.value(totals.rejects_total);
+          w.key("departs");
+          w.value(totals.departs_total);
+          w.key("migrations");
+          w.value(totals.migrations_total);
+          w.key("per_session");
+          w.begin_array();
+          for (const auto& [sid, stats] : rows) {
+            w.begin_object();
+            w.key("session");
+            w.value(sid);
+            write_session_stats(w, stats);
+            w.end_object();
+          }
+          w.end_array();
+          w.end_object();
         }
         w.key("requests_total");
         w.value(metrics_.total_requests());
@@ -860,6 +1100,7 @@ std::string Router::metrics_exposition() const {
   std::ostringstream out;
   expose_endpoints(out, metrics_);
   if (runtime_) expose_runtime(out, runtime_());
+  expose_sessions(out, sessions_.all_stats(), sessions_.totals());
   expose_trace(out);
   return out.str();
 }

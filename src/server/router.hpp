@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "common/time.hpp"
+#include "online/registry.hpp"
 #include "server/metrics.hpp"
 #include "server/overload.hpp"
 
@@ -37,6 +38,12 @@ struct RouterConfig {
   /// Most task sets one admit_batch request may carry; each item still
   /// honors max_tasks/max_processors on its own.
   std::size_t max_batch_items{64};
+  /// Online sessions (the session_* ops): concurrently open sessions and
+  /// per-session caps.  A session_open may ask for fewer residents but
+  /// never more.
+  std::size_t max_sessions{64};
+  std::size_t max_session_processors{256};
+  std::size_t max_session_residents{4096};
 };
 
 /// One budgeted op class's live overload-control state (stats/metrics).
@@ -99,10 +106,20 @@ class Router {
 
   [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
 
+  /// The online-session store (tests and the fuzzer inspect it directly).
+  [[nodiscard]] const online::SessionRegistry& sessions() const noexcept {
+    return sessions_;
+  }
+
  private:
   RouterConfig config_;
   const Metrics& metrics_;
   std::function<RuntimeStats()> runtime_;
+  /// The one piece of mutable state the router owns: long-lived online
+  /// sessions (the session_* ops are stateful by nature).  The registry
+  /// is internally synchronized -- per-session mutexes plus a map lock --
+  /// so handle() stays const and callable from any worker.
+  mutable online::SessionRegistry sessions_;
 };
 
 }  // namespace rmts::server

@@ -295,6 +295,7 @@ struct Server::Impl {
       case BudgetClass::kAnalyze: return Endpoint::kAnalyze;
       case BudgetClass::kRobustness: return Endpoint::kRobustness;
       case BudgetClass::kSimulate: return Endpoint::kSimulate;
+      case BudgetClass::kSession: return Endpoint::kSession;
     }
     return Endpoint::kAdmit;
   }

@@ -100,6 +100,127 @@ TEST(AdmissionCache, MatchesOracleOnHostsAddedPastAdmission) {
   }
 }
 
+TEST(AdmissionCache, InterleavedAddRemoveMatchesFromScratchAnalysis) {
+  // The online session's churn shape: adds and removes interleave on a
+  // long-lived processor, with fits() probes and re-analysis between
+  // mutations.  Removal re-seeds the invalidated suffix from wcets (a
+  // stale post-removal value would be an UPPER bound -- unsound as a
+  // seed), so the cached path must keep agreeing with the from-scratch
+  // oracle through arbitrary interleavings.
+  for (std::uint64_t seed = 300; seed < 340; ++seed) {
+    Rng rng(seed);
+    ProcessorState processor;
+    // Hosted priorities draw from 1..48; 0 is reserved for split
+    // prototypes so max_admissible_wcet probes stay top-priority.
+    std::vector<std::size_t> free_priorities;
+    for (std::size_t p = 1; p <= 48; ++p) free_priorities.push_back(p);
+
+    for (std::size_t step = 0; step < 48; ++step) {
+      const bool do_remove =
+          !processor.subtasks().empty() && rng.uniform_int(0, 2) == 0;
+      if (do_remove) {
+        const auto index = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(processor.subtasks().size()) - 1));
+        free_priorities.push_back(processor.subtasks()[index].priority);
+        processor.remove(index);
+      } else {
+        const auto slot = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(free_priorities.size()) - 1));
+        const Subtask incoming = random_subtask(
+            rng, free_priorities[slot], rng.uniform_int(0, 3) == 0);
+        const bool cached = processor.fits(incoming);
+        ASSERT_EQ(cached, oracle_fits(processor, incoming))
+            << "seed " << seed << " step " << step;
+        if (cached) {
+          processor.add(incoming);
+          free_priorities[slot] = free_priorities.back();
+          free_priorities.pop_back();
+        }
+      }
+
+      // A probe at a random (possibly hosted-adjacent) priority must
+      // agree with the oracle on the mutated set.
+      const Subtask probe =
+          random_subtask(rng, free_priorities[static_cast<std::size_t>(
+                                  rng.uniform_int(0,
+                                                  static_cast<std::int64_t>(
+                                                      free_priorities.size()) -
+                                                      1))],
+                         false);
+      ASSERT_EQ(processor.fits(probe), oracle_fits(processor, probe))
+          << "seed " << seed << " step " << step;
+
+      // Cached responses stay exact after every interleaving step.
+      const ProcessorRta fresh = analyze_processor(processor.subtasks());
+      ASSERT_TRUE(fresh.schedulable) << "seed " << seed << " step " << step;
+      for (std::size_t i = 0; i < processor.subtasks().size(); ++i) {
+        ASSERT_EQ(processor.response_time_of(i), fresh.response[i])
+            << "seed " << seed << " step " << step << " index " << i;
+      }
+
+      // The testing-set cache behind the scheduling-point MaxSplit must
+      // also track removals: both methods agree on the warm cache.
+      if (step % 8 == 7) {
+        Subtask prototype = random_subtask(rng, 0, true);
+        EXPECT_EQ(
+            max_admissible_wcet(processor, prototype,
+                                MaxSplitMethod::kBinarySearch),
+            max_admissible_wcet(processor, prototype,
+                                MaxSplitMethod::kSchedulingPoints))
+            << "seed " << seed << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(AdmissionCache, RemovalFlipsCachedVerdictsBackToFits) {
+  // Deterministic regression for the cache-direction flip: with the
+  // blocker hosted, the candidate is rejected (and the verdict cached as
+  // part of the warmed responses); after remove() the same candidate
+  // must fit -- a stale cached miss would wrongly keep rejecting it.
+  ProcessorState processor;
+  const Subtask blocker{0, 100, 0, 60, 100, 100, SubtaskKind::kWhole};
+  const Subtask hosted{2, 102, 0, 30, 100, 100, SubtaskKind::kWhole};
+  ASSERT_TRUE(processor.fits(blocker));
+  processor.add(blocker);
+  ASSERT_TRUE(processor.fits(hosted));
+  processor.add(hosted);
+
+  // 60 + 30 + 30 = 120 > 100: the hosted subtask would miss.
+  const Subtask candidate{1, 101, 0, 30, 100, 100, SubtaskKind::kWhole};
+  ASSERT_FALSE(processor.fits(candidate));
+  ASSERT_EQ(processor.response_time_of(1), 90);  // 60 + 30, warm cache
+
+  processor.remove(0);  // the blocker departs
+  EXPECT_TRUE(processor.fits(candidate)) << "stale cached miss survived";
+  EXPECT_EQ(processor.response_time_of(0), 30);
+  processor.add(candidate);
+  const ProcessorRta fresh = analyze_processor(processor.subtasks());
+  ASSERT_TRUE(fresh.schedulable);
+  EXPECT_EQ(processor.response_time_of(1), fresh.response[1]);
+}
+
+TEST(AdmissionCache, RemovalRestoresSchedulabilityOfForcedHosts) {
+  // SPA-style force-adds can cache kTimeInfinity ("known miss") for a
+  // hosted subtask; removing the interferer that caused the miss must
+  // re-seed the entry rather than keep the infinity.
+  ProcessorState processor;
+  const Subtask heavy{0, 200, 0, 80, 100, 100, SubtaskKind::kWhole};
+  const Subtask victim{1, 201, 0, 50, 100, 100, SubtaskKind::kWhole};
+  processor.add(heavy);
+  processor.add(victim);  // added past admission: 80 + 50 > 100
+  ASSERT_FALSE(analyze_processor(processor.subtasks()).schedulable);
+  EXPECT_EQ(processor.response_time_of(1), kTimeInfinity);
+
+  processor.remove(0);
+  const ProcessorRta fresh = analyze_processor(processor.subtasks());
+  ASSERT_TRUE(fresh.schedulable);
+  EXPECT_EQ(processor.response_time_of(0), fresh.response[0]);
+  const Subtask probe{0, 202, 0, 25, 100, 100, SubtaskKind::kWhole};
+  EXPECT_EQ(processor.fits(probe), oracle_fits(processor, probe));
+  EXPECT_TRUE(processor.fits(probe));
+}
+
 TEST(AdmissionCache, MaxSplitMethodsAgreeOnWarmCache) {
   for (std::uint64_t seed = 200; seed < 230; ++seed) {
     Rng rng(seed);

@@ -1,0 +1,442 @@
+// Online PartitionSession (src/online): admission, departure, lazy
+// rebalance and the subsystem's core invariant -- a resident task, once
+// admitted, is NEVER un-admitted (not by later admissions, not by
+// departures of its neighbors, not by the migration pass), and the live
+// assignment stays schedulable under from-scratch exact RTA at every
+// step.  Also covers the SessionRegistry locking bridge and the server's
+// session_* wire ops end-to-end through the Router.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "online/registry.hpp"
+#include "online/session.hpp"
+#include "server/client.hpp"
+#include "server/json.hpp"
+#include "server/metrics.hpp"
+#include "server/router.hpp"
+
+namespace rmts::online {
+namespace {
+
+SessionConfig two_processors() {
+  SessionConfig config;
+  config.processors = 2;
+  return config;
+}
+
+TEST(PartitionSession, AdmitsWholeTasksWithMonotoneTickets) {
+  PartitionSession session(two_processors());
+  const AdmitResult first = session.admit(10, 100);
+  const AdmitResult second = session.admit(20, 200);
+  ASSERT_TRUE(first.admitted);
+  ASSERT_TRUE(second.admitted);
+  EXPECT_EQ(first.parts, 1u);
+  EXPECT_EQ(second.parts, 1u);
+  EXPECT_LT(first.ticket, second.ticket);
+  EXPECT_EQ(session.placements(first.ticket).size(), 1u);
+
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.resident_tasks, 2u);
+  EXPECT_EQ(stats.resident_subtasks, 2u);
+  EXPECT_EQ(stats.split_residents, 0u);
+  EXPECT_EQ(stats.admits_total, 2u);
+  EXPECT_NEAR(stats.utilization, 0.2, 1e-12);
+  EXPECT_TRUE(session.check_invariants().empty()) << session.check_invariants();
+}
+
+TEST(PartitionSession, RejectsInvalidParametersWithoutSideEffects) {
+  PartitionSession session(two_processors());
+  EXPECT_FALSE(session.admit(0, 100).admitted);
+  EXPECT_FALSE(session.admit(101, 100).admitted);
+  EXPECT_FALSE(session.admit(-5, 100).admitted);
+  EXPECT_FALSE(
+      session.admit(1, PartitionSession::kMaxPeriod + 1).admitted);
+  EXPECT_EQ(session.stats().resident_tasks, 0u);
+  EXPECT_EQ(session.stats().rejects_total, 4u);
+  EXPECT_TRUE(session.check_invariants().empty());
+}
+
+TEST(PartitionSession, EnforcesResidentCap) {
+  SessionConfig config = two_processors();
+  config.max_resident = 1;
+  PartitionSession session(config);
+  ASSERT_TRUE(session.admit(1, 100).admitted);
+  const AdmitResult overflow = session.admit(1, 100);
+  EXPECT_FALSE(overflow.admitted);
+  EXPECT_EQ(overflow.reason, "resident-task limit reached");
+}
+
+TEST(PartitionSession, SplitsWhenNoProcessorFitsWhole) {
+  // Two long-period residents occupy both processors; (12, 20) fails
+  // exact RTA whole on either (the hosted task then misses), but a
+  // (10, 20) body + (2, 20) tail passes on the pair.
+  PartitionSession session(two_processors());
+  ASSERT_EQ(session.admit(50, 100).parts, 1u);
+  ASSERT_EQ(session.admit(50, 100).parts, 1u);
+
+  const AdmitResult split = session.admit(12, 20);
+  ASSERT_TRUE(split.admitted) << split.reason;
+  EXPECT_EQ(split.parts, 2u);
+  const std::vector<std::size_t> hosts = session.placements(split.ticket);
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_NE(hosts[0], hosts[1]);
+  EXPECT_EQ(session.stats().split_residents, 1u);
+  EXPECT_EQ(session.stats().resident_subtasks, 4u);
+  EXPECT_TRUE(session.check_invariants().empty()) << session.check_invariants();
+
+  // Departing the split chain removes every piece.
+  ASSERT_TRUE(session.depart(split.ticket));
+  EXPECT_EQ(session.stats().resident_subtasks, 2u);
+  EXPECT_TRUE(session.placements(split.ticket).empty());
+  EXPECT_TRUE(session.check_invariants().empty()) << session.check_invariants();
+}
+
+TEST(PartitionSession, SplittingCanBeDisabled) {
+  SessionConfig config = two_processors();
+  config.allow_splitting = false;
+  PartitionSession session(config);
+  ASSERT_TRUE(session.admit(50, 100).admitted);
+  ASSERT_TRUE(session.admit(50, 100).admitted);
+  const AdmitResult result = session.admit(12, 20);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(session.stats().resident_tasks, 2u);
+  EXPECT_TRUE(session.check_invariants().empty());
+}
+
+TEST(PartitionSession, BodySafeKeepsLaterArrivalsOffTheBodyProcessor) {
+  // After the split of SplitsWhenNoProcessorFitsWhole, the body runs at
+  // top priority on its host.  A later, shorter-period arrival would
+  // outrank it there (violating Lemma 2's standing premise), so it must
+  // land on the other processor -- and the invariant checker must keep
+  // passing afterwards.
+  PartitionSession session(two_processors());
+  ASSERT_TRUE(session.admit(50, 100).admitted);
+  ASSERT_TRUE(session.admit(50, 100).admitted);
+  const AdmitResult split = session.admit(12, 20);
+  ASSERT_TRUE(split.admitted);
+  const std::vector<std::size_t> hosts = session.placements(split.ticket);
+  ASSERT_EQ(hosts.size(), 2u);
+
+  const AdmitResult fast = session.admit(1, 5);
+  ASSERT_TRUE(fast.admitted);
+  const std::vector<std::size_t> fast_hosts = session.placements(fast.ticket);
+  ASSERT_EQ(fast_hosts.size(), 1u);
+  EXPECT_NE(fast_hosts[0], hosts[0])
+      << "a shorter-period arrival landed on the body's processor";
+  EXPECT_TRUE(session.check_invariants().empty()) << session.check_invariants();
+}
+
+TEST(PartitionSession, DepartIsExactlyOnce) {
+  PartitionSession session(two_processors());
+  const AdmitResult result = session.admit(10, 100);
+  ASSERT_TRUE(result.admitted);
+  EXPECT_FALSE(session.depart(result.ticket + 17));  // unknown
+  EXPECT_TRUE(session.depart(result.ticket));
+  EXPECT_FALSE(session.depart(result.ticket));  // already gone
+  EXPECT_EQ(session.stats().departs_total, 1u);
+  EXPECT_EQ(session.stats().resident_tasks, 0u);
+}
+
+TEST(PartitionSession, RebalanceMovesLoadWithoutUnAdmitting) {
+  SessionConfig config = two_processors();
+  config.rebalance_every = 0;  // only explicit passes
+  config.hysteresis = 0.10;
+  PartitionSession session(config);
+
+  // Six equal tasks alternate under worst fit; departing two from one
+  // side leaves a 0.1 / 0.3 imbalance.
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    const AdmitResult result = session.admit(10, 100);
+    ASSERT_TRUE(result.admitted);
+    tickets.push_back(result.ticket);
+  }
+  const std::vector<std::size_t> host0 = session.placements(tickets[0]);
+  ASSERT_EQ(host0.size(), 1u);
+  std::vector<Ticket> same_host;
+  for (const Ticket ticket : tickets) {
+    if (session.placements(ticket) == host0) same_host.push_back(ticket);
+  }
+  ASSERT_EQ(same_host.size(), 3u);
+  ASSERT_TRUE(session.depart(same_host[0]));
+  ASSERT_TRUE(session.depart(same_host[1]));
+
+  SessionStats before = session.stats();
+  EXPECT_NEAR(before.max_processor_utilization -
+                  before.min_processor_utilization,
+              0.2, 1e-12);
+  const auto residents_before = session.residents();
+
+  EXPECT_EQ(session.rebalance(), 1u);
+
+  const SessionStats after = session.stats();
+  EXPECT_EQ(after.migrations_total, 1u);
+  EXPECT_GE(after.rebalance_rounds_total, 1u);
+  EXPECT_NEAR(after.max_processor_utilization - after.min_processor_utilization,
+              0.0, 1e-12);
+  const auto residents_after = session.residents();
+  ASSERT_EQ(residents_after.size(), residents_before.size());
+  for (std::size_t i = 0; i < residents_before.size(); ++i) {
+    EXPECT_EQ(residents_after[i].ticket, residents_before[i].ticket);
+  }
+  EXPECT_TRUE(session.check_invariants().empty()) << session.check_invariants();
+
+  // The spread is inside hysteresis now: another pass is a no-op.
+  EXPECT_EQ(session.rebalance(), 0u);
+}
+
+TEST(PartitionSession, NeverUnAdmitsUnderRandomChurn) {
+  // Property form of the fuzzer's churn mode: at every step the resident
+  // ledger matches exactly and the full invariant check passes.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    SessionConfig config;
+    config.processors = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    config.rebalance_every = static_cast<std::size_t>(rng.uniform_int(0, 8));
+    PartitionSession session(config);
+    std::vector<PartitionSession::ResidentTask> ledger;
+    for (int step = 0; step < 120; ++step) {
+      const double roll = rng.uniform(0.0, 1.0);
+      if (!ledger.empty() && roll < 0.35) {
+        const auto victim = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(ledger.size()) - 1));
+        ASSERT_TRUE(session.depart(ledger[victim].ticket));
+        ledger.erase(ledger.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else if (roll < 0.40) {
+        session.rebalance();
+      } else {
+        const Time period = rng.uniform_int(2, 1000);
+        const Time wcet =
+            std::max<Time>(1, static_cast<Time>(static_cast<double>(period) *
+                                                rng.uniform(0.02, 0.6)));
+        const AdmitResult result = session.admit(wcet, period);
+        if (result.admitted) {
+          ledger.push_back({result.ticket, wcet, period});
+        }
+      }
+      const auto residents = session.residents();
+      ASSERT_EQ(residents.size(), ledger.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < ledger.size(); ++i) {
+        ASSERT_EQ(residents[i].ticket, ledger[i].ticket);
+        ASSERT_EQ(residents[i].wcet, ledger[i].wcet);
+        ASSERT_EQ(residents[i].period, ledger[i].period);
+      }
+      if (step % 12 == 11) {
+        const std::string violation = session.check_invariants();
+        ASSERT_TRUE(violation.empty())
+            << "seed " << seed << " step " << step << ": " << violation;
+      }
+    }
+    const std::string violation = session.check_invariants();
+    ASSERT_TRUE(violation.empty()) << "seed " << seed << ": " << violation;
+  }
+}
+
+// ---------------------------------------------------------- registry --
+
+TEST(SessionRegistry, OpenLockCloseLifecycle) {
+  SessionRegistry registry(RegistryConfig{.max_sessions = 2});
+  const SessionId a = registry.open(SessionConfig{});
+  const SessionId b = registry.open(SessionConfig{});
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  EXPECT_EQ(registry.open(SessionConfig{}), 0u);  // at capacity
+  EXPECT_EQ(registry.size(), 2u);
+
+  {
+    const SessionRegistry::Handle handle = registry.lock(a);
+    ASSERT_TRUE(handle);
+    EXPECT_TRUE(handle.session().admit(10, 100).admitted);
+  }
+  EXPECT_FALSE(registry.lock(a + 1000));
+
+  const RegistryTotals totals = registry.totals();
+  EXPECT_EQ(totals.sessions_open, 2u);
+  EXPECT_EQ(totals.resident_tasks, 1u);
+  EXPECT_EQ(totals.admits_total, 1u);
+
+  EXPECT_TRUE(registry.close(a));
+  EXPECT_FALSE(registry.close(a));
+  EXPECT_FALSE(registry.lock(a));
+  EXPECT_EQ(registry.size(), 1u);
+  // Capacity freed: a new open succeeds and ids never repeat.
+  const SessionId c = registry.open(SessionConfig{});
+  ASSERT_NE(c, 0u);
+  EXPECT_GT(c, b);
+
+  // Lifetime `_total` counters are monotone across close() -- the closed
+  // session's admit survives in the aggregate (Prometheus counter
+  // semantics); the resident/open gauges drop with the session.
+  const RegistryTotals after_close = registry.totals();
+  EXPECT_EQ(after_close.sessions_open, 2u);
+  EXPECT_EQ(after_close.resident_tasks, 0u);
+  EXPECT_EQ(after_close.admits_total, 1u);
+}
+
+TEST(SessionRegistry, ConcurrentChurnAcrossAndWithinSessions) {
+  SessionRegistry registry;
+  constexpr std::size_t kSessions = 4;
+  constexpr std::size_t kThreads = 8;
+  std::vector<SessionId> ids;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ids.push_back(registry.open(SessionConfig{}));
+    ASSERT_NE(ids.back(), 0u);
+  }
+  // Two threads per session churn the SAME session (serialized by its
+  // mutex) while other sessions run in parallel; thread-sanitizer runs
+  // of the `online` label make this a real interleaving test.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &ids, t] {
+      Rng rng(t);
+      const SessionId id = ids[t % kSessions];
+      std::vector<Ticket> mine;
+      for (int step = 0; step < 200; ++step) {
+        SessionRegistry::Handle handle = registry.lock(id);
+        ASSERT_TRUE(handle);
+        if (!mine.empty() && rng.uniform(0.0, 1.0) < 0.4) {
+          const auto victim = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(mine.size()) - 1));
+          ASSERT_TRUE(handle.session().depart(mine[victim]));
+          mine[victim] = mine.back();
+          mine.pop_back();
+        } else {
+          const Time period = rng.uniform_int(2, 1000);
+          const Time wcet = std::max<Time>(1, period / 20);
+          const AdmitResult result = handle.session().admit(wcet, period);
+          if (result.admitted) mine.push_back(result.ticket);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const SessionId id : ids) {
+    const SessionRegistry::Handle handle = registry.lock(id);
+    ASSERT_TRUE(handle);
+    const std::string violation = handle.session().check_invariants();
+    EXPECT_TRUE(violation.empty()) << violation;
+  }
+}
+
+// ------------------------------------------------- router session ops --
+
+class RouterSessionTest : public ::testing::Test {
+ protected:
+  server::JsonValue handle(const std::string& request) {
+    const server::HandleOutcome outcome = router_.handle(request);
+    server::JsonValue reply;
+    std::string error;
+    EXPECT_TRUE(server::json_parse(outcome.reply, reply, error))
+        << outcome.reply;
+    return reply;
+  }
+
+  std::uint64_t open_session(std::size_t processors) {
+    const server::JsonValue reply =
+        handle(server::make_session_open_request(processors));
+    EXPECT_TRUE(reply.find("ok")->as_bool()) << "session_open failed";
+    return static_cast<std::uint64_t>(reply.find("session")->as_int());
+  }
+
+  server::Metrics metrics_;
+  server::Router router_{server::RouterConfig{}, metrics_};
+};
+
+TEST_F(RouterSessionTest, AdmitDepartStatsCloseRoundTrip) {
+  const std::uint64_t session = open_session(2);
+  ASSERT_NE(session, 0u);
+
+  const server::JsonValue admit =
+      handle(server::make_session_admit_request(session, 10, 100));
+  ASSERT_TRUE(admit.find("ok")->as_bool());
+  ASSERT_TRUE(admit.find("accepted")->as_bool());
+  const auto ticket =
+      static_cast<std::uint64_t>(admit.find("ticket")->as_int());
+  ASSERT_NE(ticket, 0u);
+  EXPECT_EQ(admit.find("parts")->as_double(), 1.0);
+
+  const server::JsonValue stats =
+      handle(server::make_session_stats_request(session));
+  ASSERT_TRUE(stats.find("ok")->as_bool());
+  EXPECT_EQ(stats.find("resident_tasks")->as_double(), 1.0);
+  EXPECT_EQ(stats.find("processors")->as_double(), 2.0);
+
+  const server::JsonValue depart =
+      handle(server::make_session_depart_request(session, ticket));
+  ASSERT_TRUE(depart.find("ok")->as_bool());
+  EXPECT_TRUE(depart.find("departed")->as_bool());
+  const server::JsonValue again =
+      handle(server::make_session_depart_request(session, ticket));
+  ASSERT_TRUE(again.find("ok")->as_bool());
+  EXPECT_FALSE(again.find("departed")->as_bool());
+
+  const server::JsonValue rebalance =
+      handle(server::make_session_rebalance_request(session));
+  ASSERT_TRUE(rebalance.find("ok")->as_bool());
+  EXPECT_EQ(rebalance.find("migrations")->as_double(), 0.0);
+
+  const server::JsonValue close =
+      handle(server::make_session_close_request(session));
+  ASSERT_TRUE(close.find("ok")->as_bool());
+  EXPECT_TRUE(close.find("closed")->as_bool());
+  const server::JsonValue gone =
+      handle(server::make_session_admit_request(session, 10, 100));
+  EXPECT_FALSE(gone.find("ok")->as_bool());
+}
+
+TEST_F(RouterSessionTest, RejectionsAndUnknownSessionsAreWellFormed) {
+  const std::uint64_t session = open_session(1);
+
+  // Saturate one processor, then an impossible arrival is a normal
+  // accepted:false reply with a reason -- not an error.
+  ASSERT_TRUE(handle(server::make_session_admit_request(session, 1, 2))
+                  .find("accepted")
+                  ->as_bool());
+  const server::JsonValue rejected =
+      handle(server::make_session_admit_request(session, 999, 1000));
+  ASSERT_TRUE(rejected.find("ok")->as_bool());
+  EXPECT_FALSE(rejected.find("accepted")->as_bool());
+  EXPECT_FALSE(rejected.find("reason")->as_string().empty());
+
+  const server::JsonValue unknown =
+      handle(server::make_session_admit_request(987654, 10, 100));
+  EXPECT_FALSE(unknown.find("ok")->as_bool());
+  EXPECT_FALSE(unknown.find("error")->as_string().empty());
+
+  const server::JsonValue malformed = handle(R"({"op":"session_admit"})");
+  EXPECT_FALSE(malformed.find("ok")->as_bool());
+}
+
+TEST_F(RouterSessionTest, StatsEndpointAggregatesSessions) {
+  const std::uint64_t a = open_session(2);
+  const std::uint64_t b = open_session(2);
+  ASSERT_TRUE(handle(server::make_session_admit_request(a, 10, 100))
+                  .find("accepted")
+                  ->as_bool());
+  ASSERT_TRUE(handle(server::make_session_admit_request(b, 10, 100))
+                  .find("accepted")
+                  ->as_bool());
+
+  const server::JsonValue stats = handle(server::make_stats_request());
+  ASSERT_TRUE(stats.find("ok")->as_bool());
+  const server::JsonValue* sessions = stats.find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  EXPECT_EQ(sessions->find("open")->as_double(), 2.0);
+  EXPECT_EQ(sessions->find("resident_tasks")->as_double(), 2.0);
+
+  const std::string exposition = router_.metrics_exposition();
+  EXPECT_NE(exposition.find("rmts_sessions_open 2"), std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("rmts_session_resident_tasks"), std::string::npos);
+  EXPECT_NE(exposition.find("rmts_session_admits_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmts::online

@@ -19,6 +19,7 @@
 //   rmts_fuzz [seconds=10] [seed=1]
 //   rmts_fuzz proto [seconds=10] [seed=1]
 //   rmts_fuzz kernel [seconds=10] [seed=1]
+//   rmts_fuzz churn [seconds=10] [seed=1]
 //
 // The `proto` mode fuzzes the admission-control service's codec instead:
 // random, truncated, mutated and oversized byte streams are fed through
@@ -26,6 +27,16 @@
 // that nothing crashes, decoder memory stays under its cap, and every
 // reply -- including those for garbage -- is a well-formed one-line JSON
 // object carrying "ok" and, on failure, a non-empty "error".
+//
+// The `churn` mode drives random admit/depart/rebalance interleavings
+// through an online PartitionSession (src/online) and checks, after every
+// operation, that no resident task is ever un-admitted (the harness's own
+// ticket ledger must match session.residents() exactly) and that the
+// utilization accounting balances; periodically -- and at the end of every
+// interleaving -- it re-derives full structural + exact-RTA invariants
+// from scratch (the differential against the incremental cached path) and
+// batch re-partitions the live resident set with RmtsLight to sanity-check
+// the online packing against the paper's from-scratch partitioner.
 //
 // The `kernel` mode differentially fuzzes the SoA RTA kernel
 // (rta/rta_kernel.hpp) against the checked scalar path: random hosted
@@ -59,6 +70,7 @@
 #include "common/checked_math.hpp"
 #include "common/rng.hpp"
 #include "io/taskset_io.hpp"
+#include "online/session.hpp"
 #include "partition/baselines.hpp"
 #include "partition/edf_split.hpp"
 #include "partition/processor_state.hpp"
@@ -531,6 +543,205 @@ std::uint64_t kernel_fuzz(double seconds, std::uint64_t seed) {
   return violations;
 }
 
+// --------------------------------------------------- online churn fuzz --
+
+/// Random admit/depart/rebalance interleavings on a PartitionSession.
+/// Returns the number of violations found.
+std::uint64_t churn_fuzz(double seconds, std::uint64_t seed) {
+  Rng rng(seed ^ 0x636875726eULL);  // "churn"
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t attempts = 0;
+  std::uint64_t operations = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t split_admits = 0;
+  std::uint64_t departed = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t full_checks = 0;
+  std::uint64_t batch_checks = 0;
+  std::uint64_t batch_accepts = 0;
+  std::uint64_t violations = 0;
+
+  // The harness's own ledger of what must be resident: insertion-ordered
+  // (ticket, wcet, period) rows.  Tickets are monotone, so this stays
+  // ticket-sorted for free -- directly comparable to session.residents().
+  struct Row {
+    online::Ticket ticket;
+    Time wcet;
+    Time period;
+  };
+  std::vector<Row> ledger;
+
+  const auto fail = [&](const std::string& what, std::uint64_t op) {
+    ++violations;
+    std::cerr << "CHURN VIOLATION: " << what << "\n  repro: seed " << seed
+              << ", attempt " << attempts - 1 << ", op " << op << '\n';
+    std::vector<std::pair<Time, Time>> pairs;
+    pairs.reserve(ledger.size());
+    for (const Row& row : ledger) pairs.emplace_back(row.wcet, row.period);
+    if (pairs.empty()) return;
+    const std::string path = "rmts_fuzz_violation_" + std::to_string(seed) +
+                             "_" + std::to_string(attempts - 1) + ".txt";
+    std::ofstream dump(path);
+    if (dump) {
+      write_task_set(dump, TaskSet::from_pairs(pairs));
+      std::cerr << "  resident set written to " << path << '\n';
+    }
+  };
+
+  // Never-un-admit, after EVERY operation: the live resident rows must be
+  // exactly the ledger -- same tickets, same parameters, nothing dropped,
+  // nothing mutated -- and the utilization books must balance.
+  const auto check_residents = [&](const online::PartitionSession& session,
+                                   std::uint64_t op) {
+    const auto residents = session.residents();
+    if (residents.size() != ledger.size()) {
+      fail("resident count diverged from the ledger (" +
+               std::to_string(residents.size()) + " vs " +
+               std::to_string(ledger.size()) + ")",
+           op);
+      return;
+    }
+    for (std::size_t i = 0; i < ledger.size(); ++i) {
+      if (residents[i].ticket != ledger[i].ticket ||
+          residents[i].wcet != ledger[i].wcet ||
+          residents[i].period != ledger[i].period) {
+        fail("resident row " + std::to_string(i) + " diverged (ticket " +
+                 std::to_string(residents[i].ticket) + " vs " +
+                 std::to_string(ledger[i].ticket) + ")",
+             op);
+        return;
+      }
+    }
+    double expected_utilization = 0.0;
+    for (const Row& row : ledger) {
+      expected_utilization +=
+          static_cast<double>(row.wcet) / static_cast<double>(row.period);
+    }
+    const online::SessionStats stats = session.stats();
+    const double tolerance = 1e-9 * std::max(1.0, expected_utilization);
+    if (std::abs(stats.utilization - expected_utilization) > tolerance) {
+      fail("utilization accounting diverged (" +
+               std::to_string(stats.utilization) + " vs ledger " +
+               std::to_string(expected_utilization) + ")",
+           op);
+    }
+    if (stats.resident_tasks != ledger.size()) {
+      fail("stats.resident_tasks diverged from the ledger", op);
+    }
+  };
+
+  // From-scratch cross-checks: full structural + exact-RTA invariants,
+  // and a batch RmtsLight re-partition of the live resident set.
+  const RmtsLight batch;
+  const auto check_from_scratch = [&](const online::PartitionSession& session,
+                                      std::size_t processors,
+                                      std::uint64_t op) {
+    ++full_checks;
+    const std::string violation = session.check_invariants();
+    if (!violation.empty()) fail("invariant: " + violation, op);
+    if (ledger.empty()) return;
+    ++batch_checks;
+    std::vector<std::pair<Time, Time>> pairs;
+    pairs.reserve(ledger.size());
+    for (const Row& row : ledger) pairs.emplace_back(row.wcet, row.period);
+    const TaskSet residents = TaskSet::from_pairs(pairs);
+    const Assignment repartition = batch.partition(residents, processors);
+    if (repartition.success) ++batch_accepts;
+    // The sanity leg: what the online session is hosting is schedulable
+    // from scratch (check_invariants above), so a batch reject is a
+    // packing-quality gap, not a soundness bug -- but a batch accept that
+    // claims LESS utilization than the session holds would mean the
+    // ledger and the assignment disagree about what "the set" is.
+    if (repartition.success &&
+        std::abs(residents.total_utilization() - session.stats().utilization) >
+            1e-9 * std::max(1.0, residents.total_utilization())) {
+      fail("batch re-partition saw a different total utilization", op);
+    }
+  };
+
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+             .count() < seconds) {
+    Rng sample = rng.fork(attempts++);
+
+    online::SessionConfig config;
+    config.processors = static_cast<std::size_t>(sample.uniform_int(1, 6));
+    config.allow_splitting = sample.uniform_int(0, 3) != 0;
+    config.split_granularity = sample.uniform_int(0, 1) == 0
+                                   ? Time{1}
+                                   : sample.uniform_int(1, 16);
+    config.rebalance_every =
+        static_cast<std::size_t>(sample.uniform_int(0, 24));
+    config.max_migrations_per_round =
+        static_cast<std::size_t>(sample.uniform_int(1, 8));
+    config.hysteresis = sample.uniform(0.02, 0.30);
+    if (sample.uniform_int(0, 7) == 0) {
+      config.max_resident = static_cast<std::size_t>(sample.uniform_int(1, 8));
+    }
+    online::PartitionSession session(config);
+    ledger.clear();
+
+    const auto ops =
+        static_cast<std::uint64_t>(sample.uniform_int(32, 160));
+    const double depart_rate = sample.uniform(0.10, 0.60);
+    for (std::uint64_t op = 0; op < ops; ++op) {
+      ++operations;
+      const double roll = sample.uniform(0.0, 1.0);
+      if (!ledger.empty() && roll < depart_rate) {
+        const auto victim = static_cast<std::size_t>(sample.uniform_int(
+            0, static_cast<std::int64_t>(ledger.size()) - 1));
+        const online::Ticket ticket = ledger[victim].ticket;
+        ledger.erase(ledger.begin() + static_cast<std::ptrdiff_t>(victim));
+        if (!session.depart(ticket)) {
+          fail("depart(" + std::to_string(ticket) + ") of a resident failed",
+               op);
+        }
+        ++departed;
+        if (session.depart(ticket)) {
+          fail("double depart(" + std::to_string(ticket) + ") succeeded", op);
+        }
+      } else if (roll < depart_rate + 0.05) {
+        migrations += session.rebalance();
+      } else {
+        // Modest utilizations keep sessions long-lived; occasional heavy
+        // draws force rejections and split placements.
+        const Time period = sample.uniform_int(2, 10'000);
+        const double target = sample.uniform_int(0, 4) == 0
+                                  ? sample.uniform(0.5, 1.0)
+                                  : sample.uniform(0.02, 0.45);
+        const Time wcet = std::max<Time>(
+            1, static_cast<Time>(static_cast<double>(period) * target));
+        const online::AdmitResult result = session.admit(wcet, period);
+        if (result.admitted) {
+          ++admitted;
+          if (result.parts > 1) ++split_admits;
+          if (!ledger.empty() && result.ticket <= ledger.back().ticket) {
+            fail("ticket " + std::to_string(result.ticket) +
+                     " not monotonically increasing",
+                 op);
+          }
+          ledger.push_back({result.ticket, wcet, period});
+        }
+      }
+      check_residents(session, op);
+      if (op % 24 == 23) {
+        check_from_scratch(session, config.processors, op);
+      }
+      if (violations != 0) break;
+    }
+    if (violations != 0) break;
+    check_from_scratch(session, config.processors, ops);
+  }
+
+  std::cout << "rmts_fuzz churn: " << attempts << " sessions, " << operations
+            << " ops (" << admitted << " admits, " << split_admits
+            << " split, " << departed << " departs, " << migrations
+            << " migrations), " << full_checks << " full invariant checks, "
+            << batch_accepts << "/" << batch_checks
+            << " batch re-partition accepts, " << violations
+            << " violations (seed " << seed << ")\n";
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -539,6 +750,12 @@ int main(int argc, char** argv) {
     const std::uint64_t kernel_seed =
         argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
     return kernel_fuzz(kernel_seconds, kernel_seed) == 0 ? 0 : 1;
+  }
+  if (argc > 1 && std::string(argv[1]) == "churn") {
+    const double churn_seconds = argc > 2 ? std::atof(argv[2]) : 10.0;
+    const std::uint64_t churn_seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    return churn_fuzz(churn_seconds, churn_seed) == 0 ? 0 : 1;
   }
   if (argc > 1 && std::string(argv[1]) == "proto") {
     const double proto_seconds = argc > 2 ? std::atof(argv[2]) : 10.0;

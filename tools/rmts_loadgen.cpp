@@ -7,6 +7,7 @@
 //                [--qps RATE] [--burst-factor F] [--burst-period S]
 //                [--burst-duration S] [--deadline-ms MS]
 //                [--retry [--max-attempts N]]
+//                [--session [--churn-rate R]]
 //
 // By default each connection keeps exactly one request outstanding
 // (closed loop), so the printed qps is the service's throughput at full
@@ -15,6 +16,11 @@
 // how you drive the server past saturation and exercise its overload
 // control (optionally with --burst-* flash crowds, --deadline-ms
 // per-request deadlines, and --retry backoff honoring retry_after_ms).
+// --session switches every connection to online-session churn: each opens
+// its own long-lived session (session_open) and drives an admit/depart
+// mix against it (--churn-rate = depart fraction), tracking live tickets
+// so departures always name a real resident; per-op tables then report
+// session_admit / session_depart.
 // The driver itself lives in src/server/load.hpp and is shared with the
 // bench_e18/bench_e20 benchmarks.  Latency percentiles are interpolated
 // HDR quantiles (relative error <= 3.1%), reported overall and per op
@@ -39,7 +45,8 @@ namespace {
                " [--mix admit=1,stats=0,...]"
                " [--qps RATE] [--burst-factor F] [--burst-period S]"
                " [--burst-duration S] [--deadline-ms MS]"
-               " [--retry] [--max-attempts N]\n";
+               " [--retry] [--max-attempts N]"
+               " [--session] [--churn-rate R]\n";
   std::exit(2);
 }
 
@@ -65,6 +72,12 @@ std::string report_json(const rmts::server::LoadConfig& config,
   w.begin_object();
   w.key("connections");
   w.value(config.connections);
+  if (config.session) {
+    w.key("session");
+    w.value(true);
+    w.key("churn_rate");
+    w.value(config.churn_rate);
+  }
   w.key("seconds");
   w.value(report.elapsed_seconds);
   w.key("requests");
@@ -184,6 +197,10 @@ int main(int argc, char** argv) {
       config.deadline_ms = std::atoll(next().c_str());
     } else if (flag == "--retry") {
       config.retry = true;
+    } else if (flag == "--session") {
+      config.session = true;
+    } else if (flag == "--churn-rate") {
+      config.churn_rate = std::atof(next().c_str());
     } else if (flag == "--max-attempts") {
       config.max_attempts = std::atoi(next().c_str());
     } else if (flag == "--json") {
@@ -199,7 +216,9 @@ int main(int argc, char** argv) {
     std::cout << "rmts_loadgen: " << report.requests << " requests in "
               << report.elapsed_seconds << " s over " << config.connections
               << " connections"
-              << (config.offered_qps > 0.0 ? " (open loop)" : " (closed loop)")
+              << (config.session          ? " (session churn)"
+                  : config.offered_qps > 0.0 ? " (open loop)"
+                                             : " (closed loop)")
               << '\n'
               << "  offered    " << report.offered << " (+" << report.retries
               << " retries)\n"

@@ -6,6 +6,7 @@
 //              [--initial-budget N] [--min-budget N] [--max-budget N]
 //              [--slo-interval-ms N] [--slo-admit-us N] [--slo-analyze-us N]
 //              [--slo-robustness-us N] [--slo-simulate-us N]
+//              [--slo-session-us N]
 //
 // Binds (port 0 = ephemeral), prints exactly one line
 //   rmts_serve listening on HOST:PORT
@@ -41,7 +42,8 @@ extern "C" void handle_stop_signal(int) {
                " [--drain-timeout-ms N] [--static-budgets]"
                " [--initial-budget N] [--min-budget N] [--max-budget N]"
                " [--slo-interval-ms N] [--slo-admit-us N] [--slo-analyze-us N]"
-               " [--slo-robustness-us N] [--slo-simulate-us N]\n";
+               " [--slo-robustness-us N] [--slo-simulate-us N]"
+               " [--slo-session-us N]\n";
   std::exit(2);
 }
 
@@ -94,6 +96,9 @@ int main(int argc, char** argv) {
     } else if (flag == "--slo-simulate-us") {
       config.overload.slo_p99_us[static_cast<std::size_t>(
           rmts::server::BudgetClass::kSimulate)] = std::stoull(next());
+    } else if (flag == "--slo-session-us") {
+      config.overload.slo_p99_us[static_cast<std::size_t>(
+          rmts::server::BudgetClass::kSession)] = std::stoull(next());
     } else {
       usage(argv[0]);
     }
